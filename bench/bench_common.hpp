@@ -1,0 +1,35 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every binary regenerates the series of one paper figure (or a pair of
+// closely related figures) and prints them as aligned tables, together
+// with the headline numbers quoted in the paper's prose so the comparison
+// in EXPERIMENTS.md is one-to-one.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "eval/cdf.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+
+namespace iup::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& claim) {
+  std::printf("%s", eval::banner(figure).c_str());
+  std::printf("paper: %s\n\n", claim.c_str());
+}
+
+/// Print a CDF as a fixed set of quantile rows.
+inline void print_cdf_row(const std::string& label,
+                          const std::vector<double>& samples) {
+  const eval::EmpiricalCdf cdf(samples);
+  std::printf("  %-26s p25 %6.2f   median %6.2f   p75 %6.2f   p90 %6.2f   "
+              "mean %6.2f\n",
+              label.c_str(), cdf.percentile(0.25), cdf.median(),
+              cdf.percentile(0.75), cdf.percentile(0.90), cdf.mean());
+}
+
+}  // namespace iup::bench

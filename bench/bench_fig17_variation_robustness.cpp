@@ -1,0 +1,77 @@
+// Fig. 17 — Claim 3: Constraint 2 defeats short-term RSS variation.
+// Reconstructing from 80% (or 50%) of measured entries *plus the
+// constraint* localizes as well as (or better than) using 100% raw
+// measurements, because the constraint filters measurement outliers.
+#include "bench_common.hpp"
+
+#include "baselines/traditional.hpp"
+#include "core/self_augmented.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using namespace iup;
+
+// Survey all cells with the paper's 5-sample budget, keep `frac` of the
+// affected entries (plus the whole no-decrease set), and reconstruct the
+// rest with Constraint 2 only (no reference locations needed here:
+// the observed set already covers every row densely).
+linalg::Matrix partial_with_constraint(const eval::EnvironmentRun& run,
+                                       const linalg::Matrix& survey,
+                                       double frac, std::uint64_t seed) {
+  const auto layout = core::band_layout_of(survey);
+  linalg::Matrix b = run.b_mask;
+  linalg::Matrix xb = survey.hadamard(b);
+  rng::Rng rng(seed);
+  for (std::size_t i = 0; i < survey.rows(); ++i) {
+    for (std::size_t j = 0; j < survey.cols(); ++j) {
+      if (b(i, j) == 0.0 && rng.uniform() < frac) {
+        b(i, j) = 1.0;
+        xb(i, j) = survey(i, j);
+      }
+    }
+  }
+  core::RsvdOptions opt;
+  opt.use_constraint1 = false;
+  opt.use_constraint2 = true;
+  const core::SelfAugmentedRsvd solver(layout, opt);
+  core::RsvdProblem p;
+  p.x_b = xb;
+  p.b = b;
+  return solver.solve(p).x_hat;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 17: Constraint 2 vs short-term variation",
+      "80% measured + Constraint 2 localizes even better than 100% "
+      "measured; 50% + Constraint 2 matches 100%");
+
+  eval::EnvironmentRun run(sim::make_office_testbed());
+  eval::Table table({"database", "3 days", "5 days", "15 days", "45 days",
+                     "3 months"});
+
+  std::vector<double> m100, m80, m50;
+  for (std::size_t day : sim::paper_update_stamps()) {
+    sim::Sampler sampler(run.testbed, "fig17-" + std::to_string(day));
+    const auto survey = baselines::traditional_full_resurvey(sampler, day, 5);
+    const auto x80 = partial_with_constraint(run, survey, 0.8, 17 + day);
+    const auto x50 = partial_with_constraint(run, survey, 0.5, 170 + day);
+
+    m100.push_back(eval::mean_of(eval::localization_errors(
+        run, survey, eval::LocalizerKind::kOmp, day, 5)));
+    m80.push_back(eval::mean_of(eval::localization_errors(
+        run, x80, eval::LocalizerKind::kOmp, day, 5)));
+    m50.push_back(eval::mean_of(eval::localization_errors(
+        run, x50, eval::LocalizerKind::kOmp, day, 5)));
+  }
+  table.add_row("80% data + Constraint 2", m80);
+  table.add_row("50% data + Constraint 2", m50);
+  table.add_row("measured 100% (ground truth survey)", m100);
+  std::printf("mean localization error [m]:\n%s", table.render().c_str());
+  std::printf("paper: the 80%%+C2 bar is lowest; 50%%+C2 roughly ties the "
+              "fully measured database\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 19 — reconstruction error across the three rooms: the hall (low
+// multipath) reconstructs best, the library (high multipath) worst, and
+// even after 3 months the library error stays comparable to the natural
+// short-term RSS variation.
+#include "bench_common.hpp"
+
+#include "core/updater.hpp"
+
+int main() {
+  using namespace iup;
+  bench::print_header(
+      "Fig. 19: reconstruction error in hall / office / library",
+      "hall < office < library at every stamp; library after 3 months "
+      "~ the RSS random variation (paper: 4.9 dB)");
+
+  eval::Table table({"environment", "3 days", "5 days", "15 days",
+                     "45 days", "3 months"});
+  struct Room {
+    std::string label;
+    sim::Testbed testbed;
+  };
+  std::vector<Room> rooms;
+  rooms.push_back({"hall (low multipath)", sim::make_hall_testbed()});
+  rooms.push_back({"office (medium multipath)", sim::make_office_testbed()});
+  rooms.push_back({"library (high multipath)", sim::make_library_testbed()});
+
+  for (auto& room : rooms) {
+    eval::EnvironmentRun run(std::move(room.testbed));
+    const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
+    std::vector<double> means;
+    for (std::size_t day : sim::paper_update_stamps()) {
+      const auto inputs =
+          eval::collect_update_inputs(run, updater.reference_cells(), day);
+      const auto rep = updater.reconstruct(inputs);
+      means.push_back(eval::score_reconstruction(run, rep.x_hat, day).mean_db);
+    }
+    table.add_row(room.label, means);
+  }
+  std::printf("mean reconstruction error [dB]:\n%s", table.render().c_str());
+  std::printf("paper: hall lowest (LoS benefit), library highest (metal "
+              "shelves), all growing slowly with the interval\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark) for the numerical kernels: SVD,
+// LRR, one Algorithm-1 sweep, the full update, OMP localization and SVR
+// training.  These are runtime numbers, not paper figures; the paper's
+// desktop (i7-4790) runs the whole pipeline interactively and so must we.
+#include <benchmark/benchmark.h>
+
+#include "baselines/rass.hpp"
+#include "core/lrr.hpp"
+#include "core/mic.hpp"
+#include "core/updater.hpp"
+#include "eval/experiment.hpp"
+#include "linalg/svd.hpp"
+#include "loc/omp.hpp"
+
+namespace {
+
+using namespace iup;
+
+const eval::EnvironmentRun& office() {
+  static eval::EnvironmentRun run(sim::make_office_testbed());
+  return run;
+}
+
+void BM_SvdOfficeMatrix(benchmark::State& state) {
+  const auto& x = office().ground_truth.at_day(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::svd(x));
+  }
+}
+BENCHMARK(BM_SvdOfficeMatrix);
+
+void BM_MicExtraction(benchmark::State& state) {
+  const auto& x = office().ground_truth.at_day(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_mic(x));
+  }
+}
+BENCHMARK(BM_MicExtraction);
+
+void BM_LrrCorrelation(benchmark::State& state) {
+  const auto& x = office().ground_truth.at_day(0);
+  const auto mic = core::extract_mic(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_lrr(mic.x_mic, x));
+  }
+}
+BENCHMARK(BM_LrrCorrelation);
+
+void BM_FullUpdate(benchmark::State& state) {
+  const auto& run = office();
+  const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
+  const auto inputs =
+      eval::collect_update_inputs(run, updater.reference_cells(), 45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(updater.reconstruct(inputs));
+  }
+}
+BENCHMARK(BM_FullUpdate);
+
+void BM_OmpLocalize(benchmark::State& state) {
+  const auto& run = office();
+  const auto& x = run.ground_truth.at_day(0);
+  const loc::OmpLocalizer omp(x, {});
+  const auto y = x.col(37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(omp.localize(y));
+  }
+}
+BENCHMARK(BM_OmpLocalize);
+
+void BM_RassTraining(benchmark::State& state) {
+  const auto& run = office();
+  const auto& x = run.ground_truth.at_day(0);
+  for (auto _ : state) {
+    baselines::Rass rass(x, run.testbed.deployment());
+    benchmark::DoNotOptimize(rass);
+  }
+}
+BENCHMARK(BM_RassTraining);
+
+void BM_GroundTruthSurvey(benchmark::State& state) {
+  const auto& run = office();
+  sim::Sampler sampler(run.testbed, "bench-survey");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.survey_full(45, 5));
+  }
+}
+BENCHMARK(BM_GroundTruthSurvey);
+
+}  // namespace
+
+BENCHMARK_MAIN();

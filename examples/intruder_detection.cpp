@@ -1,0 +1,61 @@
+// Intruder detection: track a person walking through the office at night,
+// 45 days after the last full site survey.
+//
+// The paper's motivating scenario: the target carries no device, so the
+// system must localize from link-RSS perturbations alone.  We compare
+// tracking on the stale database against tracking on the iUpdater-updated
+// database (one 55-second reference survey).
+#include <cstdio>
+
+#include "core/updater.hpp"
+#include "eval/experiment.hpp"
+#include "geom/geometry.hpp"
+#include "loc/omp.hpp"
+#include "sim/sampler.hpp"
+
+int main() {
+  using namespace iup;
+  std::printf("Intruder tracking demo (office, 45 days after last survey)\n");
+
+  eval::EnvironmentRun run(sim::make_office_testbed());
+  const auto& x0 = run.ground_truth.at_day(0);
+  const std::size_t day = 45;
+
+  // Low-cost update: visit the 8 reference locations once.
+  core::IUpdater updater(x0, run.b_mask);
+  const auto report = updater.update(
+      eval::collect_update_inputs(run, updater.reference_cells(), day));
+
+  const loc::OmpLocalizer fresh(report.x_hat, {});
+  const loc::OmpLocalizer stale(x0, {});
+
+  // The intruder walks along link 4's corridor, one grid cell per step.
+  const auto& dep = run.testbed.deployment();
+  sim::Sampler online(run.testbed, "intruder");
+  std::printf("\n%-6s %-18s %-22s %-22s\n", "step", "true cell (x, y)",
+              "updated DB estimate", "stale DB estimate");
+  double err_fresh = 0.0, err_stale = 0.0;
+  std::size_t steps = 0;
+  for (std::size_t u = 0; u < dep.slots_per_link(); u += 2) {
+    const std::size_t cell = dep.cell_index(4, u);
+    const auto y = online.online_measurement(cell, day, 3);
+    const auto e_fresh = fresh.localize(y);
+    const auto e_stale = stale.localize(y);
+    const geom::Point2 truth = dep.cell_center(cell);
+    const double d_fresh = loc::cell_distance_m(dep, cell, e_fresh.cell);
+    const double d_stale = loc::cell_distance_m(dep, cell, e_stale.cell);
+    err_fresh += d_fresh;
+    err_stale += d_stale;
+    ++steps;
+    std::printf("%-6zu (%4.1f, %4.1f) m      cell %3zu (err %.2f m)     "
+                "cell %3zu (err %.2f m)\n",
+                steps, truth.x, truth.y, e_fresh.cell, d_fresh, e_stale.cell,
+                d_stale);
+  }
+  std::printf("\nmean tracking error: updated DB %.2f m | stale DB %.2f m\n",
+              err_fresh / static_cast<double>(steps),
+              err_stale / static_cast<double>(steps));
+  std::printf("update labor: %zu reference locations, ~55 s of surveying\n",
+              report.reference_count);
+  return 0;
+}

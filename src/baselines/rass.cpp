@@ -1,0 +1,37 @@
+#include "baselines/rass.hpp"
+
+namespace iup::baselines {
+
+Rass::Rass(const linalg::Matrix& database, const sim::Deployment& deployment,
+           RassOptions options)
+    : deployment_(&deployment),
+      svr_x_(options.svr),
+      svr_y_(options.svr) {
+  const std::size_t n = database.cols();
+  // Training set: one sample per grid cell, features = the M link RSS.
+  linalg::Matrix samples = database.transpose();
+  std::vector<double> tx(n), ty(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const geom::Point2 c = deployment.cell_center(j);
+    tx[j] = c.x;
+    ty[j] = c.y;
+  }
+  svr_x_.fit(samples, tx);
+  svr_y_.fit(samples, ty);
+}
+
+geom::Point2 Rass::localize_position(
+    std::span<const double> measurement) const {
+  return {svr_x_.predict(measurement), svr_y_.predict(measurement)};
+}
+
+loc::LocalizationEstimate Rass::localize(
+    std::span<const double> measurement) const {
+  const geom::Point2 p = localize_position(measurement);
+  loc::LocalizationEstimate est;
+  est.cell = deployment_->nearest_cell(p);
+  est.score = 0.0;
+  return est;
+}
+
+}  // namespace iup::baselines

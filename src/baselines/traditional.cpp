@@ -1,0 +1,43 @@
+#include "baselines/traditional.hpp"
+
+namespace iup::baselines {
+
+double survey_time_s(std::size_t locations, std::size_t samples,
+                     const LaborParams& params) {
+  if (locations == 0) return 0.0;
+  const double moves = static_cast<double>(locations - 1);
+  return moves * params.move_time_s +
+         static_cast<double>(samples) * params.collect_interval_s *
+             static_cast<double>(locations);
+}
+
+double traditional_update_time_s(std::size_t total_cells, std::size_t samples,
+                                 const LaborParams& params) {
+  return survey_time_s(total_cells, samples, params);
+}
+
+double iupdater_update_time_s(std::size_t reference_cells,
+                              std::size_t samples, const LaborParams& params) {
+  return survey_time_s(reference_cells, samples, params);
+}
+
+double labor_saving_fraction(std::size_t total_cells,
+                             std::size_t traditional_samples,
+                             std::size_t reference_cells,
+                             std::size_t iupdater_samples,
+                             const LaborParams& params) {
+  const double t_trad =
+      traditional_update_time_s(total_cells, traditional_samples, params);
+  if (t_trad <= 0.0) return 0.0;
+  const double t_iup =
+      iupdater_update_time_s(reference_cells, iupdater_samples, params);
+  return 1.0 - t_iup / t_trad;
+}
+
+linalg::Matrix traditional_full_resurvey(sim::Sampler& sampler,
+                                         std::size_t day,
+                                         std::size_t samples) {
+  return sampler.survey_full(day, samples);
+}
+
+}  // namespace iup::baselines

@@ -1,0 +1,53 @@
+// Traditional whole-database updating and the human-labor cost model
+// (Section VI-C, Fig. 20).
+//
+// A traditional fingerprint system re-surveys every grid location,
+// spending Delta_t_move seconds walking between locations and
+// samples * Delta_t_collect seconds standing at each one.  iUpdater
+// surveys only the n reference locations with a smaller sample budget.
+// The paper's headline numbers follow directly from this model:
+//   office, 94 cells, 50 samples: 93*5 s + 50*0.5 s*94 = 46.9 min
+//   iUpdater, 8 refs, 5 samples:   7*5 s +  5*0.5 s*8  = 55 s  (97.9 %)
+//   traditional with 5 samples:   93*5 s +  5*0.5 s*94 = 700 s (92.1 %)
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "sim/sampler.hpp"
+
+namespace iup::baselines {
+
+struct LaborParams {
+  double move_time_s = 5.0;        ///< Delta_t_m, walk between two locations
+  double collect_interval_s = 0.5; ///< Delta_t_c, one RSS probe (beacon rate)
+};
+
+/// Time [s] to survey `locations` cells with `samples` readings each.
+double survey_time_s(std::size_t locations, std::size_t samples,
+                     const LaborParams& params = {});
+
+/// Traditional whole-database update time [s].
+double traditional_update_time_s(std::size_t total_cells,
+                                 std::size_t samples = 50,
+                                 const LaborParams& params = {});
+
+/// iUpdater update time [s]: reference locations only.
+double iupdater_update_time_s(std::size_t reference_cells,
+                              std::size_t samples = 5,
+                              const LaborParams& params = {});
+
+/// Fractional saving of iUpdater over a traditional survey (0..1).
+double labor_saving_fraction(std::size_t total_cells,
+                             std::size_t traditional_samples,
+                             std::size_t reference_cells,
+                             std::size_t iupdater_samples,
+                             const LaborParams& params = {});
+
+/// The traditional updater itself: re-survey the entire database (used as
+/// the "100 % measured" arm of Fig. 17 and as the labor-cost comparator).
+linalg::Matrix traditional_full_resurvey(sim::Sampler& sampler,
+                                         std::size_t day,
+                                         std::size_t samples = 50);
+
+}  // namespace iup::baselines

@@ -1,0 +1,79 @@
+#include "core/constraints.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iup::core {
+
+linalg::Matrix neighbor_matrix(std::size_t slots) {
+  if (slots == 0) throw std::invalid_argument("neighbor_matrix: slots == 0");
+  linalg::Matrix t(slots, slots);
+  for (std::size_t p = 0; p + 1 < slots; ++p) {
+    t(p, p + 1) = 1.0;
+    t(p + 1, p) = 1.0;
+  }
+  return t;
+}
+
+namespace {
+
+// G* = T + Gbar where Gbar is diagonal with Gbar(p,p) = -(column sum of T);
+// G is G* with each column divided by its diagonal entry, making the
+// diagonal 1 (reproduces the paper's 3x3 example, Eq. 14).
+linalg::Matrix base_continuity(std::size_t slots) {
+  const linalg::Matrix t = neighbor_matrix(slots);
+  linalg::Matrix g = t;
+  for (std::size_t p = 0; p < slots; ++p) {
+    double col_sum = 0.0;
+    for (std::size_t w = 0; w < slots; ++w) col_sum += t(w, p);
+    g(p, p) = -col_sum;
+  }
+  for (std::size_t q = 0; q < slots; ++q) {
+    const double d = g(q, q);
+    if (d == 0.0) continue;
+    for (std::size_t p = 0; p < slots; ++p) g(p, q) /= d;
+  }
+  return g;
+}
+
+// Midpoint redefinition of one column c (0-based): the attenuation profile
+// flips direction there, so the column becomes a symmetric difference of
+// the two neighbours instead of a deviation-from-average (Eqs. 15/16).
+void redefine_midpoint_column(linalg::Matrix& g, std::size_t c) {
+  const std::size_t s = g.rows();
+  for (std::size_t p = 0; p < s; ++p) g(p, c) = 0.0;
+  if (c + 1 < s) g(c + 1, c) = 1.0;
+  if (c >= 1) g(c - 1, c) = -1.0;
+}
+
+}  // namespace
+
+linalg::Matrix continuity_matrix_without_midpoint_fix(std::size_t slots) {
+  return base_continuity(slots);
+}
+
+linalg::Matrix continuity_matrix(std::size_t slots) {
+  linalg::Matrix g = base_continuity(slots);
+  if (slots < 3) return g;  // no interior midpoint to redefine
+
+  // Paper indexing is 1-based: p = (N/M - 1)/2 + 1.  Convert to 0-based.
+  const double p_one_based =
+      (static_cast<double>(slots) - 1.0) / 2.0 + 1.0;
+  const double integral = std::floor(p_one_based);
+  if (p_one_based == integral) {
+    redefine_midpoint_column(g, static_cast<std::size_t>(integral) - 1);
+  } else {
+    const auto lo = static_cast<std::size_t>(std::floor(p_one_based)) - 1;
+    const auto hi = static_cast<std::size_t>(std::ceil(p_one_based)) - 1;
+    redefine_midpoint_column(g, lo);
+    redefine_midpoint_column(g, hi);
+  }
+  return g;
+}
+
+linalg::Matrix similarity_matrix(std::size_t links) {
+  if (links == 0) throw std::invalid_argument("similarity_matrix: links == 0");
+  return linalg::Matrix::toeplitz(-1.0, 1.0, 0.0, links);
+}
+
+}  // namespace iup::core

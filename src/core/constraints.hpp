@@ -1,0 +1,35 @@
+// Constraint matrices of Section IV-C: T (Eq. 4), G (Eqs. 14-16) and
+// H (Eq. 17).
+//
+// T encodes which along-link slots are neighbours; G is the
+// column-normalised continuity operator with the paper's mid-column
+// redefinition (the RSS attenuation profile peaks at the link ends and dips
+// at the midpoint, so the plain neighbour-average penalty would be wrong
+// exactly at the middle of each link); H = Toeplitz(-1, 1, 0) differences
+// adjacent links.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace iup::core {
+
+/// Neighbour relationship matrix T (Eq. 4): S x S with T(p, q) = 1 when
+/// slots p and q are adjacent along a link.
+linalg::Matrix neighbor_matrix(std::size_t slots);
+
+/// Continuity matrix G (Eq. 14) including the midpoint redefinition
+/// (Eqs. 15/16).  Columns are normalised by their diagonal entry of
+/// G* = T + Gbar so that the diagonal becomes 1, reproducing the worked
+/// 3 x 3 example in the paper.
+linalg::Matrix continuity_matrix(std::size_t slots);
+
+/// Continuity matrix *without* the midpoint fix; exposed so the ablation
+/// bench can quantify what the fix is worth.
+linalg::Matrix continuity_matrix_without_midpoint_fix(std::size_t slots);
+
+/// Adjacent-link similarity matrix H (Eq. 17): M x M Toeplitz(-1, 1, 0).
+linalg::Matrix similarity_matrix(std::size_t links);
+
+}  // namespace iup::core

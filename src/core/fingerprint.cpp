@@ -1,0 +1,112 @@
+#include "core/fingerprint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iup::core {
+
+BandLayout band_layout_of(const linalg::Matrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("band_layout_of: empty matrix");
+  }
+  if (x.cols() % x.rows() != 0) {
+    throw std::invalid_argument(
+        "band_layout_of: columns not a multiple of rows (N/M must be "
+        "integral; see Definition 2)");
+  }
+  return BandLayout{x.rows(), x.cols() / x.rows()};
+}
+
+linalg::Matrix extract_largely_decrease(const linalg::Matrix& x,
+                                        const BandLayout& layout) {
+  if (x.rows() != layout.links || x.cols() != layout.num_cells()) {
+    throw std::invalid_argument("extract_largely_decrease: shape mismatch");
+  }
+  linalg::Matrix xd(layout.links, layout.slots);
+  for (std::size_t i = 0; i < layout.links; ++i) {
+    for (std::size_t u = 0; u < layout.slots; ++u) {
+      xd(i, u) = x(i, layout.cell(i, u));
+    }
+  }
+  return xd;
+}
+
+void insert_largely_decrease(linalg::Matrix& x, const linalg::Matrix& xd,
+                             const BandLayout& layout) {
+  if (x.rows() != layout.links || x.cols() != layout.num_cells() ||
+      xd.rows() != layout.links || xd.cols() != layout.slots) {
+    throw std::invalid_argument("insert_largely_decrease: shape mismatch");
+  }
+  for (std::size_t i = 0; i < layout.links; ++i) {
+    for (std::size_t u = 0; u < layout.slots; ++u) {
+      x(i, layout.cell(i, u)) = xd(i, u);
+    }
+  }
+}
+
+linalg::Matrix nlc_values(const linalg::Matrix& xd, const linalg::Matrix& t) {
+  const std::size_t m = xd.rows();
+  const std::size_t s = xd.cols();
+  if (t.rows() != s || t.cols() != s) {
+    throw std::invalid_argument("nlc_values: T must be S x S");
+  }
+
+  // Normalisation constant: spread of |X_D| across the whole matrix.
+  double max_abs = 0.0, min_abs = std::abs(xd(0, 0));
+  for (double v : xd.data()) {
+    max_abs = std::max(max_abs, std::abs(v));
+    min_abs = std::min(min_abs, std::abs(v));
+  }
+  const double spread = std::max(max_abs - min_abs, 1e-12);
+
+  linalg::Matrix out(m, s);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t u = 0; u < s; ++u) {
+      double neigh_sum = 0.0, neigh_count = 0.0;
+      for (std::size_t w = 0; w < s; ++w) {
+        if (t(w, u) != 0.0) {
+          neigh_sum += std::abs(xd(i, w)) * t(w, u);
+          neigh_count += t(w, u);
+        }
+      }
+      const double avg = neigh_count > 0.0 ? neigh_sum / neigh_count : 0.0;
+      out(i, u) = std::abs(std::abs(xd(i, u)) - avg) / spread;
+    }
+  }
+  return out;
+}
+
+linalg::Matrix als_values(const linalg::Matrix& xd) {
+  const std::size_t m = xd.rows();
+  const std::size_t s = xd.cols();
+  if (m < 2) {
+    throw std::invalid_argument("als_values: need at least two links");
+  }
+  // Normalisation: the largest adjacent-link difference anywhere.
+  double max_diff = 0.0;
+  for (std::size_t i = 1; i < m; ++i) {
+    for (std::size_t u = 0; u < s; ++u) {
+      max_diff = std::max(max_diff, std::abs(xd(i, u) - xd(i - 1, u)));
+    }
+  }
+  max_diff = std::max(max_diff, 1e-12);
+
+  linalg::Matrix out(m - 1, s);
+  for (std::size_t i = 1; i < m; ++i) {
+    for (std::size_t u = 0; u < s; ++u) {
+      out(i - 1, u) = std::abs(xd(i, u) - xd(i - 1, u)) / max_diff;
+    }
+  }
+  return out;
+}
+
+double fraction_below(const linalg::Matrix& values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : values.data()) {
+    if (v < threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace iup::core

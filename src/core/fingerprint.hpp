@@ -1,0 +1,62 @@
+// Fingerprint-matrix containers and the paper's Section II machinery.
+//
+// Definition 1: X = (x_ij), i in [1,M] links, j in [1,N] grid cells.
+// Definition 2: the largely-decrease matrix X_D (M x N/M) collects the
+// entries where the target blocks the direct path: d_{i,u} = x_{i,j} with
+// j = (i-1) * N/M + u.
+//
+// This header also implements the two benchmark statistics the paper uses
+// to establish Observations 2 and 3:
+//   NLC (Eq. 5) — normalized difference between a largely-decrease entry
+//                 and the mean of its along-link neighbours;
+//   ALS (Eq. 6) — normalized difference between the same relative slot of
+//                 adjacent links.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace iup::core {
+
+/// Band structure of the grid: M links, S = N/M slots along each link.
+struct BandLayout {
+  std::size_t links = 0;  ///< M
+  std::size_t slots = 0;  ///< S = N/M
+
+  std::size_t num_cells() const { return links * slots; }
+  std::size_t cell(std::size_t link, std::size_t slot) const {
+    return link * slots + slot;
+  }
+  std::size_t band_of(std::size_t cell) const { return cell / slots; }
+  std::size_t slot_of(std::size_t cell) const { return cell % slots; }
+};
+
+/// Deduce the band layout from a fingerprint matrix (M = rows, S = cols/M;
+/// throws when the column count is not a multiple of the row count).
+BandLayout band_layout_of(const linalg::Matrix& x);
+
+/// Extract X_D (Definition 2) from a fingerprint matrix.
+linalg::Matrix extract_largely_decrease(const linalg::Matrix& x,
+                                        const BandLayout& layout);
+
+/// Write a largely-decrease matrix back into the corresponding entries of a
+/// full fingerprint matrix (used by tests and by the exact Constraint-2
+/// solver to assemble the current estimate).
+void insert_largely_decrease(linalg::Matrix& x, const linalg::Matrix& xd,
+                             const BandLayout& layout);
+
+/// NLC values (Eq. 5) for every entry of X_D: the location-continuity
+/// statistic.  `t` is the neighbour relationship matrix (Eq. 4).
+linalg::Matrix nlc_values(const linalg::Matrix& xd, const linalg::Matrix& t);
+
+/// ALS values (Eq. 6) for adjacent link pairs: (M-1) x S matrix where row
+/// i compares links i+1 and i.
+linalg::Matrix als_values(const linalg::Matrix& xd);
+
+/// Fraction of entries of `values` that are strictly below `threshold`
+/// (the paper summarises Figs. 8/9 as "90% of NLC < 0.2", "80% of ALS < 0.4").
+double fraction_below(const linalg::Matrix& values, double threshold);
+
+}  // namespace iup::core

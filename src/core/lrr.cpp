@@ -1,0 +1,93 @@
+#include "core/lrr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+
+namespace iup::core {
+
+LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
+                    const LrrOptions& options) {
+  if (a.rows() != x.rows()) {
+    throw std::invalid_argument("solve_lrr: dictionary/data row mismatch");
+  }
+  const std::size_t n = a.cols();
+  const std::size_t big_n = x.cols();
+
+  // Cached Cholesky of (I + A^T A) for the Z-update.
+  linalg::Matrix gram = a.gram();
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += 1.0;
+  const auto chol = linalg::cholesky(gram);
+  if (!chol) {
+    throw std::runtime_error("solve_lrr: (I + A^T A) not SPD (numerical)");
+  }
+
+  const linalg::Matrix at = a.transpose();
+  const double x_norm = std::max(linalg::frobenius_norm(x), 1e-12);
+
+  linalg::Matrix z(n, big_n);
+  linalg::Matrix j(n, big_n);
+  linalg::Matrix e(x.rows(), big_n);
+  linalg::Matrix y1(x.rows(), big_n);  // multiplier for X = AZ + E
+  linalg::Matrix y2(n, big_n);         // multiplier for Z = J
+
+  double mu = options.mu;
+  LrrResult out;
+
+  for (std::size_t it = 0; it < options.max_iters; ++it) {
+    // J-update: singular-value thresholding of Z + Y2/mu at level 1/mu.
+    j = linalg::singular_value_threshold(z + y2 / mu, 1.0 / mu);
+
+    // Z-update: (I + A^T A) Z = A^T (X - E) + J + (A^T Y1 - Y2)/mu.
+    {
+      linalg::Matrix rhs = at * (x - e) + j + (at * y1 - y2) / mu;
+      for (std::size_t c = 0; c < big_n; ++c) {
+        z.set_col(c, linalg::cholesky_solve(*chol, rhs.col(c)));
+      }
+    }
+
+    // E-update: column-wise l2,1 shrinkage of Q = X - A Z + Y1/mu.
+    {
+      const linalg::Matrix q = x - a * z + y1 / mu;
+      const double tau = options.epsilon / mu;
+      for (std::size_t c = 0; c < big_n; ++c) {
+        double col_norm = 0.0;
+        for (std::size_t r = 0; r < q.rows(); ++r) {
+          col_norm += q(r, c) * q(r, c);
+        }
+        col_norm = std::sqrt(col_norm);
+        const double scale =
+            col_norm > tau ? (col_norm - tau) / col_norm : 0.0;
+        for (std::size_t r = 0; r < q.rows(); ++r) {
+          e(r, c) = scale * q(r, c);
+        }
+      }
+    }
+
+    // Multiplier and penalty updates.
+    const linalg::Matrix res1 = x - a * z - e;
+    const linalg::Matrix res2 = z - j;
+    y1 += mu * res1;
+    y2 += mu * res2;
+    mu = std::min(options.rho * mu, options.mu_max);
+
+    out.iterations = it + 1;
+    const double r1 = linalg::frobenius_norm(res1) / x_norm;
+    const double r2 = linalg::frobenius_norm(res2) / x_norm;
+    out.residual = r1;
+    if (r1 < options.tol && r2 < options.tol) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.z = std::move(z);
+  out.e = std::move(e);
+  return out;
+}
+
+}  // namespace iup::core

@@ -1,0 +1,40 @@
+// Low-rank representation (LRR) solver — Eq. 12 of the paper:
+//
+//     min_{Z,E}  ||Z||_* + eps ||E||_{2,1}   s.t.  X = X_MIC Z + E,
+//
+// solved by the inexact Augmented Lagrange Multiplier method of
+// Liu, Lin & Yu (ICML 2010).  Z is the "inherent correlation matrix" that
+// links the MIC columns to every other column; it is computed once from the
+// original (or latest updated) fingerprint matrix and reused at every
+// subsequent update (Constraint 1 of the self-augmented RSVD), which is why
+// a fresh survey of only the reference locations suffices.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace iup::core {
+
+struct LrrOptions {
+  double epsilon = 0.5;     ///< weight of the ||E||_{2,1} corruption term
+  double mu = 1e-4;         ///< initial ALM penalty
+  double mu_max = 1e10;
+  double rho = 1.6;         ///< penalty growth factor
+  double tol = 1e-7;        ///< relative stopping tolerance
+  std::size_t max_iters = 500;
+};
+
+struct LrrResult {
+  linalg::Matrix z;       ///< n x N correlation matrix
+  linalg::Matrix e;       ///< M x N sparse-column corruption
+  std::size_t iterations = 0;
+  bool converged = false;
+  double residual = 0.0;  ///< final ||X - A Z - E||_F / ||X||_F
+};
+
+/// Solve Eq. 12 with dictionary `a` (= X_MIC, M x n) and data `x` (M x N).
+LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
+                    const LrrOptions& options = {});
+
+}  // namespace iup::core

@@ -1,0 +1,22 @@
+#include "core/rsvd.hpp"
+
+#include "core/self_augmented.hpp"
+
+namespace iup::core {
+
+RsvdResult basic_rsvd(const linalg::Matrix& x_b, const linalg::Matrix& b,
+                      RsvdOptions options) {
+  options.use_constraint1 = false;
+  options.use_constraint2 = false;
+  // With both constraints off the band layout is never consulted, so basic
+  // RSVD works on matrices of any shape (tests use synthetic low-rank data).
+  const BandLayout layout{b.rows(),
+                          b.rows() ? b.cols() / b.rows() : std::size_t{0}};
+  const SelfAugmentedRsvd solver(layout, options);
+  RsvdProblem problem;
+  problem.x_b = x_b;
+  problem.b = b;
+  return solver.solve(problem);
+}
+
+}  // namespace iup::core

@@ -1,0 +1,444 @@
+#include "core/self_augmented.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/constraints.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vec.hpp"
+#include "rng/rng.hpp"
+
+// Two index repairs relative to the published Algorithm 1 (documented in
+// DESIGN.md Sec. 5):
+//
+//  (1) The similarity curvature term indexes H by the *link* (band) index
+//      ii, not by the within-link slot jj: H is M x M, and jj ranges over
+//      [1, N/M], which is out of bounds whenever N/M != M.
+//  (2) The first row of H = Toeplitz(-1,1,0) differences link 1 against
+//      nothing, which in the raw objective would shrink link 1's
+//      largely-decrease RSS toward 0 dBm.  In kGaussSeidel mode the
+//      absolute term on the first link is dropped (only genuine
+//      adjacent-link differences are penalised); kPaperLiteral keeps the
+//      published curvature including the first-row term.
+namespace iup::core {
+
+namespace {
+
+// theta_j columns are stored as rows of R; these helpers keep the algebra
+// readable.
+void add_outer(linalg::Matrix& q, std::span<const double> v, double weight) {
+  const std::size_t n = v.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    const double va = weight * v[a];
+    if (va == 0.0) continue;
+    for (std::size_t b = 0; b < n; ++b) q(a, b) += va * v[b];
+  }
+}
+
+double row_norm_sq(const linalg::Matrix& m, std::size_t row) {
+  double acc = 0.0;
+  for (double v : m.row_span(row)) acc += v * v;
+  return acc;
+}
+
+}  // namespace
+
+SelfAugmentedRsvd::SelfAugmentedRsvd(BandLayout layout, RsvdOptions options)
+    : layout_(layout), options_(options) {
+  if (options_.use_constraint2) {
+    if (layout_.links == 0 || layout_.slots == 0) {
+      throw std::invalid_argument(
+          "SelfAugmentedRsvd: Constraint 2 requires a band layout");
+    }
+    g_ = continuity_matrix(layout_.slots);
+    h_ = similarity_matrix(layout_.links);
+    if (options_.c2_mode == Constraint2Mode::kGaussSeidel) {
+      h_(0, 0) = 0.0;  // repair (2): no absolute term on the first link
+    }
+  }
+}
+
+linalg::Matrix SelfAugmentedRsvd::warm_matrix(
+    const RsvdProblem& problem) const {
+  // Complete the observed entries with the Constraint-1 prediction, or the
+  // observed row mean when Constraint 1 is unavailable.
+  linalg::Matrix warm = problem.x_b;
+  const bool have_p = !problem.p.empty();
+  for (std::size_t i = 0; i < warm.rows(); ++i) {
+    double row_sum = 0.0;
+    double row_cnt = 0.0;
+    for (std::size_t j = 0; j < warm.cols(); ++j) {
+      if (problem.b(i, j) != 0.0) {
+        row_sum += problem.x_b(i, j);
+        row_cnt += 1.0;
+      }
+    }
+    const double row_mean = row_cnt > 0.0 ? row_sum / row_cnt : 0.0;
+    for (std::size_t j = 0; j < warm.cols(); ++j) {
+      if (problem.b(i, j) == 0.0) {
+        warm(i, j) = have_p ? problem.p(i, j) : row_mean;
+      }
+    }
+  }
+  return warm;
+}
+
+linalg::Matrix SelfAugmentedRsvd::initial_factor(
+    const RsvdProblem& problem) const {
+  const std::size_t m = problem.b.rows();
+  const std::size_t r =
+      options_.rank == 0 ? m : std::min(options_.rank, problem.b.cols());
+
+  if (options_.init == FactorInit::kRandom) {
+    rng::Rng rng(options_.init_seed);
+    linalg::Matrix l0(m, r);
+    for (double& v : l0.data()) v = rng.normal();
+    return l0;
+  }
+
+  // Warm start: SVD factor U * sqrt(Sigma) of the completed matrix,
+  // truncated at rank r.
+  const linalg::SvdResult d = linalg::svd(warm_matrix(problem));
+  linalg::Matrix l0(m, r);
+  for (std::size_t k = 0; k < r && k < d.sigma.size(); ++k) {
+    const double s = std::sqrt(d.sigma[k]);
+    for (std::size_t i = 0; i < m; ++i) l0(i, k) = d.u(i, k) * s;
+  }
+  return l0;
+}
+
+SelfAugmentedRsvd::Weights SelfAugmentedRsvd::effective_weights(
+    const RsvdProblem& problem) const {
+  Weights w;
+  const bool c1 = options_.use_constraint1 && !problem.p.empty();
+  const bool c2 = options_.use_constraint2;
+  w.w1 = c1 ? options_.w_constraint1 : 0.0;
+  w.w2 = c2 ? options_.w_continuity : 0.0;
+  w.w3 = c2 ? options_.w_similarity : 0.0;
+  if (!options_.auto_scale) return w;
+
+  // "Scale the terms to the same order of magnitude" (Sec. IV-E): measure
+  // each term's natural magnitude at the warm-start completion and rescale
+  // the base weights by data_scale / term_scale, clamped to [1e-3, 1e3].
+  const double data_scale =
+      std::max(linalg::frobenius_norm_sq(problem.x_b), 1e-9);
+  const auto clamp_scale = [](double s) {
+    return std::clamp(s, 1e-3, 1e3);
+  };
+  if (w.w1 > 0.0) {
+    const double c1_scale =
+        std::max(linalg::frobenius_norm_sq(problem.p), 1e-9);
+    w.w1 *= clamp_scale(data_scale / c1_scale);
+  }
+  if (c2 && (w.w2 > 0.0 || w.w3 > 0.0)) {
+    const linalg::Matrix xd0 =
+        extract_largely_decrease(warm_matrix(problem), layout_);
+    if (w.w2 > 0.0) {
+      const double g_scale =
+          std::max(linalg::frobenius_norm_sq(xd0 * g_), 1e-9);
+      w.w2 *= clamp_scale(data_scale / g_scale);
+    }
+    if (w.w3 > 0.0) {
+      const double h_scale =
+          std::max(linalg::frobenius_norm_sq(h_ * xd0), 1e-9);
+      w.w3 *= clamp_scale(data_scale / h_scale);
+    }
+  }
+  return w;
+}
+
+double SelfAugmentedRsvd::objective(const RsvdProblem& problem,
+                                    const Weights& w, const linalg::Matrix& l,
+                                    const linalg::Matrix& r) const {
+  const linalg::Matrix x_hat = l * r.transpose();
+  double v = options_.lambda * (linalg::frobenius_norm_sq(l) +
+                                linalg::frobenius_norm_sq(r));
+  v += linalg::frobenius_norm_sq(problem.b.hadamard(x_hat) - problem.x_b);
+  if (w.w1 > 0.0) {
+    v += w.w1 * linalg::frobenius_norm_sq(x_hat - problem.p);
+  }
+  if (options_.use_constraint2 && (w.w2 > 0.0 || w.w3 > 0.0)) {
+    const linalg::Matrix xd = extract_largely_decrease(x_hat, layout_);
+    if (w.w2 > 0.0) v += w.w2 * linalg::frobenius_norm_sq(xd * g_);
+    if (w.w3 > 0.0) v += w.w3 * linalg::frobenius_norm_sq(h_ * xd);
+  }
+  return v;
+}
+
+linalg::Matrix SelfAugmentedRsvd::update_r(const RsvdProblem& problem,
+                                           const Weights& w,
+                                           const linalg::Matrix& l,
+                                           const linalg::Matrix& r_prev) const {
+  const std::size_t m = l.rows();
+  const std::size_t rr = l.cols();
+  const std::size_t n = problem.b.cols();
+  const bool c2 = options_.use_constraint2 && (w.w2 > 0.0 || w.w3 > 0.0);
+  const bool gauss_seidel =
+      options_.c2_mode == Constraint2Mode::kGaussSeidel;
+
+  const linalg::Matrix ltl = l.gram();
+
+  // Current largely-decrease estimate (from the previous R) for the
+  // Gauss-Seidel cross terms of Constraint 2.
+  linalg::Matrix xd_cur;
+  linalg::Matrix xdg;  // X_D * G
+  if (c2) {
+    xd_cur = linalg::Matrix(layout_.links, layout_.slots);
+    for (std::size_t i = 0; i < layout_.links; ++i) {
+      for (std::size_t u = 0; u < layout_.slots; ++u) {
+        xd_cur(i, u) =
+            linalg::dot(l.row_span(i), r_prev.row_span(layout_.cell(i, u)));
+      }
+    }
+    if (gauss_seidel && w.w2 > 0.0) xdg = xd_cur * g_;
+  }
+
+  linalg::Matrix r_new(n, rr);
+  std::vector<double> c(rr);
+  for (std::size_t j = 0; j < n; ++j) {
+    linalg::Matrix q(rr, rr);
+    for (std::size_t a = 0; a < rr; ++a) q(a, a) = options_.lambda;
+    std::fill(c.begin(), c.end(), 0.0);
+
+    // Data term: sum_i b_ij (l_i theta - x_b(i,j))^2.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (problem.b(i, j) == 0.0) continue;
+      add_outer(q, l.row_span(i), 1.0);
+      linalg::axpy(problem.x_b(i, j), l.row_span(i), c);
+    }
+
+    // Constraint 1: w1 ||L theta - p_j||^2 over all links.
+    if (w.w1 > 0.0) {
+      q += w.w1 * ltl;
+      for (std::size_t i = 0; i < m; ++i) {
+        linalg::axpy(w.w1 * problem.p(i, j), l.row_span(i), c);
+      }
+    }
+
+    // Constraint 2: only the band entry (ii, jj) of column j is a
+    // largely-decrease element.
+    if (c2) {
+      const std::size_t ii = layout_.band_of(j);
+      const std::size_t jj = layout_.slot_of(j);
+      const auto l_band = l.row_span(ii);
+      if (w.w2 > 0.0) {
+        const double g_norm_sq = row_norm_sq(g_, jj);
+        add_outer(q, l_band, w.w2 * g_norm_sq);
+        if (gauss_seidel) {
+          // Cross term with the neighbouring slots of the current estimate:
+          // sum_q (XD*G)(ii,q) G(jj,q) with the self contribution removed.
+          double cross = 0.0;
+          for (std::size_t qq = 0; qq < layout_.slots; ++qq) {
+            const double others =
+                xdg(ii, qq) - xd_cur(ii, jj) * g_(jj, qq);
+            cross += others * g_(jj, qq);
+          }
+          linalg::axpy(-w.w2 * cross, l_band, c);
+        }
+      }
+      if (w.w3 > 0.0) {
+        if (gauss_seidel) {
+          double count = 0.0, neighbor_sum = 0.0;
+          if (ii > 0) {
+            count += 1.0;
+            neighbor_sum += xd_cur(ii - 1, jj);
+          }
+          if (ii + 1 < layout_.links) {
+            count += 1.0;
+            neighbor_sum += xd_cur(ii + 1, jj);
+          }
+          add_outer(q, l_band, w.w3 * count);
+          linalg::axpy(w.w3 * neighbor_sum, l_band, c);
+        } else {
+          // Published curvature: ||H(:, ii)||^2, repair (1) applied.
+          const double h_col_sq = ii + 1 < layout_.links ? 2.0 : 1.0;
+          add_outer(q, l_band, w.w3 * h_col_sq);
+        }
+      }
+    }
+
+    r_new.set_row(j, linalg::solve_spd(q, c));
+  }
+  return r_new;
+}
+
+linalg::Matrix SelfAugmentedRsvd::update_l(const RsvdProblem& problem,
+                                           const Weights& w,
+                                           const linalg::Matrix& l_prev,
+                                           const linalg::Matrix& r) const {
+  const std::size_t m = problem.b.rows();
+  const std::size_t rr = r.cols();
+  const std::size_t n = r.rows();
+  const bool c2 = options_.use_constraint2 && (w.w2 > 0.0 || w.w3 > 0.0);
+  const bool gauss_seidel =
+      options_.c2_mode == Constraint2Mode::kGaussSeidel;
+
+  const linalg::Matrix rtr = r.gram();
+
+  // Current X_D (from l_prev and the fresh r) for the similarity cross
+  // terms; the continuity term is exactly quadratic per row and needs no
+  // cross terms.
+  linalg::Matrix xd_cur;
+  if (c2) {
+    xd_cur = linalg::Matrix(layout_.links, layout_.slots);
+    for (std::size_t i = 0; i < layout_.links; ++i) {
+      for (std::size_t u = 0; u < layout_.slots; ++u) {
+        xd_cur(i, u) = linalg::dot(l_prev.row_span(i),
+                                   r.row_span(layout_.cell(i, u)));
+      }
+    }
+  }
+
+  linalg::Matrix l_new(m, rr);
+  std::vector<double> c(rr);
+  for (std::size_t i = 0; i < m; ++i) {
+    linalg::Matrix q(rr, rr);
+    for (std::size_t a = 0; a < rr; ++a) q(a, a) = options_.lambda;
+    std::fill(c.begin(), c.end(), 0.0);
+
+    for (std::size_t j = 0; j < n; ++j) {
+      if (problem.b(i, j) == 0.0) continue;
+      add_outer(q, r.row_span(j), 1.0);
+      linalg::axpy(problem.x_b(i, j), r.row_span(j), c);
+    }
+
+    if (w.w1 > 0.0) {
+      q += w.w1 * rtr;
+      for (std::size_t j = 0; j < n; ++j) {
+        linalg::axpy(w.w1 * problem.p(i, j), r.row_span(j), c);
+      }
+    }
+
+    if (c2) {
+      // Theta_i: rr x S matrix whose columns are the factors of band i.
+      linalg::Matrix theta(rr, layout_.slots);
+      for (std::size_t u = 0; u < layout_.slots; ++u) {
+        theta.set_col(u, r.row(layout_.cell(i, u)));
+      }
+      if (w.w2 > 0.0) {
+        if (gauss_seidel) {
+          // Row i of X_D*G is (l_i Theta_i) G: exactly quadratic in l_i.
+          const linalg::Matrix tg = theta * g_;
+          q += w.w2 * tg.transpose().gram();  // (Theta G)(Theta G)^T
+        } else {
+          for (std::size_t u = 0; u < layout_.slots; ++u) {
+            add_outer(q, theta.col(u), w.w2 * row_norm_sq(g_, u));
+          }
+        }
+      }
+      if (w.w3 > 0.0) {
+        const linalg::Matrix ttt = theta.transpose().gram();  // Theta Theta^T
+        if (gauss_seidel) {
+          double count = 0.0;
+          std::vector<double> neighbor_sum(layout_.slots, 0.0);
+          if (i > 0) {
+            count += 1.0;
+            for (std::size_t u = 0; u < layout_.slots; ++u) {
+              neighbor_sum[u] += xd_cur(i - 1, u);
+            }
+          }
+          if (i + 1 < layout_.links) {
+            count += 1.0;
+            for (std::size_t u = 0; u < layout_.slots; ++u) {
+              neighbor_sum[u] += xd_cur(i + 1, u);
+            }
+          }
+          q += (w.w3 * count) * ttt;
+          const auto contrib = theta * std::span<const double>(neighbor_sum);
+          linalg::axpy(w.w3, contrib, c);
+        } else {
+          const double h_col_sq = i + 1 < layout_.links ? 2.0 : 1.0;
+          q += (w.w3 * h_col_sq) * ttt;
+        }
+      }
+    }
+
+    l_new.set_row(i, linalg::solve_spd(q, c));
+  }
+  return l_new;
+}
+
+RsvdResult SelfAugmentedRsvd::solve(const RsvdProblem& problem) const {
+  if (problem.x_b.rows() != problem.b.rows() ||
+      problem.x_b.cols() != problem.b.cols()) {
+    throw std::invalid_argument("SelfAugmentedRsvd: X_B / B shape mismatch");
+  }
+  if (options_.use_constraint1 && !problem.p.empty() &&
+      (problem.p.rows() != problem.b.rows() ||
+       problem.p.cols() != problem.b.cols())) {
+    throw std::invalid_argument("SelfAugmentedRsvd: P shape mismatch");
+  }
+  if (options_.use_constraint2 &&
+      (problem.b.rows() != layout_.links ||
+       problem.b.cols() != layout_.num_cells())) {
+    throw std::invalid_argument("SelfAugmentedRsvd: band layout mismatch");
+  }
+
+  linalg::Matrix l_hat = initial_factor(problem);
+  // First R solve pairs with the initial L (Algorithm 1 line 3).
+  linalg::Matrix r_hat(problem.b.cols(), l_hat.cols());
+  const Weights w = effective_weights(problem);
+
+  RsvdResult out;
+  double best_v = std::numeric_limits<double>::infinity();
+  double v_initial = -1.0;
+  const double data_scale =
+      std::max(linalg::frobenius_norm_sq(problem.x_b), 1.0);
+
+  for (std::size_t it = 0; it < options_.max_iters; ++it) {
+    const linalg::Matrix r_next = update_r(problem, w, l_hat, r_hat);
+    linalg::Matrix l_next = update_l(problem, w, l_hat, r_next);
+    linalg::Matrix r_balanced = r_next;
+    // Rebalance the factors: scaling L by s and R by 1/s leaves the
+    // product unchanged and, at s = (||R||/||L||)^(1/2), minimises the
+    // lambda regulariser — a strict objective improvement that also keeps
+    // the per-column systems well conditioned.
+    {
+      const double ln = linalg::frobenius_norm(l_next);
+      const double rn = linalg::frobenius_norm(r_balanced);
+      if (ln > 1e-12 && rn > 1e-12) {
+        const double s = std::sqrt(rn / ln);
+        l_next *= s;
+        r_balanced /= s;
+      }
+    }
+    const linalg::Matrix& r_next_ref = r_balanced;
+    const double v = objective(problem, w, l_next, r_next_ref);
+    out.objective_history.push_back(v);
+    out.iterations = it + 1;
+    if (v_initial < 0.0) v_initial = std::max(v, 1e-12);
+
+    if (v <= best_v) {
+      best_v = v;
+      out.l = l_next;
+      out.r = r_next_ref;
+    }
+    l_hat = l_next;
+    r_hat = r_next_ref;
+
+    // Algorithm 1 lines 6-8: stop refreshing once v falls below v_th,
+    // interpreted relative to the data scale ||X_B||_F^2.
+    if (v < options_.v_threshold * data_scale) {
+      out.reached_threshold = true;
+      break;
+    }
+    // Extra guard: stop on stagnation.
+    const std::size_t hist = out.objective_history.size();
+    if (hist >= 2) {
+      const double prev = out.objective_history[hist - 2];
+      if (std::abs(prev - v) <= 1e-10 * std::max(prev, 1.0)) break;
+    }
+  }
+
+  if (out.l.empty()) {  // max_iters == 0 edge case
+    out.l = l_hat;
+    out.r = r_hat;
+  }
+  out.x_hat = out.l * out.r.transpose();
+  return out;
+}
+
+}  // namespace iup::core

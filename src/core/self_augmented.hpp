@@ -1,0 +1,67 @@
+// Self-augmented RSVD — Eq. 18 and Algorithm 1 of the paper.
+//
+// Objective (weights shown where our implementation generalises the paper):
+//
+//   min  lambda (||L||_F^2 + ||R||_F^2)            regularisation
+//      + ||B o (L R^T) - X_B||_F^2                 no-decrease data term
+//      + w1 ||L R^T - X_R Z||_F^2                  Constraint 1 (correlation)
+//      + w2 ||X_D * G||_F^2 + w3 ||H * X_D||_F^2   Constraint 2 (continuity /
+//                                                  adjacent-link similarity)
+//
+// solved by alternating per-column (R-update) and per-row (L-update) ridge
+// systems in closed form, exactly the structure of the published MyInverse
+// routine (Eq. 24).  Two published index bugs are repaired and documented
+// in self_augmented.cpp; the ablation bench compares the literal and the
+// repaired (Gauss-Seidel) treatment of Constraint 2.
+#pragma once
+
+#include "core/fingerprint.hpp"
+#include "core/rsvd.hpp"
+
+namespace iup::core {
+
+class SelfAugmentedRsvd {
+ public:
+  /// `layout` describes the band structure used by Constraint 2.
+  SelfAugmentedRsvd(BandLayout layout, RsvdOptions options);
+
+  const RsvdOptions& options() const { return options_; }
+  const linalg::Matrix& continuity() const { return g_; }
+  const linalg::Matrix& similarity() const { return h_; }
+
+  /// Run Algorithm 1 on a fully-specified problem.
+  RsvdResult solve(const RsvdProblem& problem) const;
+
+ private:
+  struct Weights {
+    double w1 = 0.0;  ///< Constraint-1 weight (0 when disabled)
+    double w2 = 0.0;  ///< continuity weight
+    double w3 = 0.0;  ///< similarity weight
+  };
+
+  /// X_B completed with the Constraint-1 prediction (or row means): the
+  /// warm-start matrix, also the reference iterate for auto-scaling.
+  linalg::Matrix warm_matrix(const RsvdProblem& problem) const;
+  linalg::Matrix initial_factor(const RsvdProblem& problem) const;
+  Weights effective_weights(const RsvdProblem& problem) const;
+  double objective(const RsvdProblem& problem, const Weights& w,
+                   const linalg::Matrix& l, const linalg::Matrix& r) const;
+
+  /// Closed-form update of every column of Theta = R^T with L fixed
+  /// (Algorithm 1 line 3 / Eq. 24).
+  linalg::Matrix update_r(const RsvdProblem& problem, const Weights& w,
+                          const linalg::Matrix& l,
+                          const linalg::Matrix& r_prev) const;
+
+  /// Closed-form update of every row of L with R fixed (line 4).
+  linalg::Matrix update_l(const RsvdProblem& problem, const Weights& w,
+                          const linalg::Matrix& l_prev,
+                          const linalg::Matrix& r) const;
+
+  BandLayout layout_;
+  RsvdOptions options_;
+  linalg::Matrix g_;  ///< continuity matrix (S x S)
+  linalg::Matrix h_;  ///< similarity matrix (M x M)
+};
+
+}  // namespace iup::core

@@ -1,0 +1,69 @@
+#include "core/updater.hpp"
+
+#include <stdexcept>
+
+namespace iup::core {
+
+IUpdater::IUpdater(linalg::Matrix x_original, linalg::Matrix b_mask,
+                   UpdaterConfig config)
+    : config_(std::move(config)),
+      x_latest_(std::move(x_original)),
+      b_(std::move(b_mask)) {
+  if (x_latest_.rows() != b_.rows() || x_latest_.cols() != b_.cols()) {
+    throw std::invalid_argument("IUpdater: X / B shape mismatch");
+  }
+  layout_ = band_layout_of(x_latest_);
+  mic_ = extract_mic(x_latest_, config_.mic_strategy);
+  acquire_correlation();
+}
+
+void IUpdater::acquire_correlation() {
+  const LrrResult lrr = solve_lrr(mic_.x_mic, x_latest_, config_.lrr);
+  z_ = lrr.z;
+}
+
+void IUpdater::set_reference_cells(const std::vector<std::size_t>& cells) {
+  mic_ = mic_from_cells(x_latest_, cells);
+  acquire_correlation();
+}
+
+UpdateReport IUpdater::reconstruct(const UpdateInputs& inputs) const {
+  if (inputs.x_b.rows() != b_.rows() || inputs.x_b.cols() != b_.cols()) {
+    throw std::invalid_argument("IUpdater::reconstruct: X_B shape mismatch");
+  }
+  if (inputs.x_r.rows() != b_.rows() ||
+      inputs.x_r.cols() != mic_.reference_cells.size()) {
+    throw std::invalid_argument(
+        "IUpdater::reconstruct: X_R must have one fresh column per "
+        "reference location");
+  }
+
+  RsvdProblem problem;
+  problem.x_b = inputs.x_b;
+  problem.b = b_;
+  if (config_.rsvd.use_constraint1) {
+    problem.p = inputs.x_r * z_;  // Constraint-1 prediction X_R * Z
+  }
+
+  const SelfAugmentedRsvd solver(layout_, config_.rsvd);
+  UpdateReport report;
+  report.solver = solver.solve(problem);
+  report.x_hat = report.solver.x_hat;
+  report.reference_count = mic_.reference_cells.size();
+  return report;
+}
+
+UpdateReport IUpdater::update(const UpdateInputs& inputs) {
+  UpdateReport report = reconstruct(inputs);
+
+  // The reconstruction becomes the "latest updated" database; optionally
+  // refresh the MIC/correlation from it for the next cycle.
+  x_latest_ = report.x_hat;
+  if (config_.refresh_correlation) {
+    mic_ = mic_from_cells(x_latest_, mic_.reference_cells);
+    acquire_correlation();
+  }
+  return report;
+}
+
+}  // namespace iup::core

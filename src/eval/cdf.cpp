@@ -1,0 +1,61 @@
+#include "eval/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace iup::eval {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("EmpiricalCdf: no samples");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::percentile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("EmpiricalCdf::percentile: p outside [0,1]");
+  }
+  if (sorted_.size() == 1) return sorted_.front();
+  const double idx = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double EmpiricalCdf::mean() const {
+  double acc = 0.0;
+  for (double v : sorted_) acc += v;
+  return acc / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::min() const { return sorted_.front(); }
+double EmpiricalCdf::max() const { return sorted_.back(); }
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(std::distance(sorted_.begin(), it)) /
+         static_cast<double>(sorted_.size());
+}
+
+std::string EmpiricalCdf::render(std::size_t points,
+                                 const std::string& unit) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double p =
+        points == 1 ? 1.0
+                    : static_cast<double>(k) / static_cast<double>(points - 1);
+    os << "  CDF " << p << " : " << percentile(p);
+    if (!unit.empty()) os << ' ' << unit;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace iup::eval

@@ -1,0 +1,45 @@
+// Empirical CDFs and percentile summaries.
+//
+// The paper reports almost everything as CDF curves (Figs. 8, 9, 14, 18,
+// 21, 23) or median/mean markers derived from them; this module owns the
+// order statistics so every bench reports the same way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iup::eval {
+
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// Value at quantile p in [0, 1] (linear interpolation).
+  double percentile(double p) const;
+
+  double median() const { return percentile(0.5); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// F(x): fraction of samples <= x.
+  double fraction_at_or_below(double x) const;
+
+  /// The sorted samples (for plotting / serialisation).
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Render "value @ CDF" rows at evenly spaced quantiles, one per line —
+  /// the textual equivalent of the paper's CDF plots.
+  std::string render(std::size_t points = 11,
+                     const std::string& unit = "") const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace iup::eval

@@ -1,0 +1,99 @@
+#include "eval/experiment.hpp"
+
+#include <stdexcept>
+
+#include "baselines/rass.hpp"
+#include "loc/knn.hpp"
+#include "loc/omp.hpp"
+
+namespace iup::eval {
+
+EnvironmentRun::EnvironmentRun(sim::Testbed tb)
+    : testbed(std::move(tb)),
+      ground_truth(sim::collect_ground_truth(testbed, sim::paper_time_stamps())),
+      b_mask(sim::no_decrease_mask(testbed)) {}
+
+core::UpdateInputs collect_update_inputs(
+    const EnvironmentRun& run, const std::vector<std::size_t>& reference_cells,
+    std::size_t day, std::size_t samples_per_location,
+    const std::string& stream_tag) {
+  // The stream tag keys the sampler's RNG so repeated collections at the
+  // same day see independent noise (as repeated real surveys would).
+  sim::Sampler sampler(run.testbed,
+                       stream_tag + "-day" + std::to_string(day));
+  core::UpdateInputs inputs;
+  const auto& original = run.ground_truth.at_day(0);
+  const auto& original_baselines = run.ground_truth.baselines_at_day(0);
+  inputs.x_b = sim::measure_no_decrease_matrix(
+      sampler, run.b_mask, day, samples_per_location, &original,
+      &original_baselines);
+  inputs.x_r = sim::measure_reference_matrix(sampler, reference_cells, day,
+                                             samples_per_location);
+  return inputs;
+}
+
+ReconstructionScore score_reconstruction(const EnvironmentRun& run,
+                                         const linalg::Matrix& x_hat,
+                                         std::size_t day) {
+  ReconstructionScore score;
+  score.day = day;
+  score.abs_errors_db = reconstruction_errors_db(
+      x_hat, run.ground_truth.at_day(day), run.b_mask, /*mask_value=*/0.0);
+  score.median_db = median_of(score.abs_errors_db);
+  score.mean_db = mean_of(score.abs_errors_db);
+  return score;
+}
+
+std::vector<double> localization_errors(const EnvironmentRun& run,
+                                        const linalg::Matrix& database,
+                                        LocalizerKind kind, std::size_t day,
+                                        std::size_t samples,
+                                        std::size_t trials,
+                                        const std::string& stream_tag) {
+  const sim::Deployment& dep = run.testbed.deployment();
+
+  std::unique_ptr<loc::Localizer> localizer;
+  loc::KnnLocalizer* knn = nullptr;
+  switch (kind) {
+    case LocalizerKind::kOmp:
+      localizer = std::make_unique<loc::OmpLocalizer>(
+          database, std::vector<double>{});
+      break;
+    case LocalizerKind::kKnn: {
+      auto k = std::make_unique<loc::KnnLocalizer>(database);
+      knn = k.get();
+      localizer = std::move(k);
+      break;
+    }
+    case LocalizerKind::kRass:
+      localizer = std::make_unique<baselines::Rass>(database, dep);
+      break;
+  }
+  if (knn != nullptr) knn->set_deployment(&dep);
+
+  sim::Sampler sampler(run.testbed,
+                       stream_tag + "-day" + std::to_string(day));
+  std::vector<double> errors;
+  errors.reserve(dep.num_cells() * trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t j = 0; j < dep.num_cells(); ++j) {
+      const auto y = sampler.online_measurement(j, day, samples);
+      const auto est = localizer->localize(y);
+      errors.push_back(localization_error_m(dep, j, est.cell));
+    }
+  }
+  return errors;
+}
+
+std::string stamp_label(std::size_t day) {
+  switch (day) {
+    case 0:
+      return "original";
+    case 90:
+      return "3 months";
+    default:
+      return std::to_string(day) + " days";
+  }
+}
+
+}  // namespace iup::eval

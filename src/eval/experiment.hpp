@@ -1,0 +1,66 @@
+// Shared experiment scaffolding for the benchmark harness.
+//
+// The paper's evaluation repeats one pattern: build the ground-truth
+// matrices of a room at the six time stamps, run the iUpdater pipeline
+// against fresh survey data at each update stamp, and score reconstruction
+// and/or localization.  This module owns that loop so every bench binary is
+// a thin driver around the same code paths the examples and tests use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/updater.hpp"
+#include "eval/metrics.hpp"
+#include "sim/fingerprint_builder.hpp"
+#include "sim/sampler.hpp"
+#include "sim/testbeds.hpp"
+
+namespace iup::eval {
+
+/// One room, fully prepared: testbed + ground truth at the paper's six
+/// stamps + the no-decrease mask.
+struct EnvironmentRun {
+  sim::Testbed testbed;
+  sim::GroundTruthSet ground_truth;
+  linalg::Matrix b_mask;
+
+  explicit EnvironmentRun(sim::Testbed tb);
+};
+
+/// Fresh measurement inputs for one update at `day`: X_B from baseline
+/// surveys and X_R from visiting `reference_cells`, both with
+/// `samples_per_location` averaging (paper: 5).
+core::UpdateInputs collect_update_inputs(
+    const EnvironmentRun& run, const std::vector<std::size_t>& reference_cells,
+    std::size_t day, std::size_t samples_per_location = 5,
+    const std::string& stream_tag = "update");
+
+/// Result of scoring one reconstruction against the ground truth.
+struct ReconstructionScore {
+  std::size_t day = 0;
+  std::vector<double> abs_errors_db;  ///< over reconstructed entries
+  double median_db = 0.0;
+  double mean_db = 0.0;
+};
+
+ReconstructionScore score_reconstruction(const EnvironmentRun& run,
+                                         const linalg::Matrix& x_hat,
+                                         std::size_t day);
+
+/// Which localizer to evaluate.
+enum class LocalizerKind { kOmp, kKnn, kRass };
+
+/// Localization errors [m] over every grid cell at `day`, using `database`
+/// as the fingerprint matrix.  `trials` online measurements are drawn per
+/// cell with `samples` readings each.
+std::vector<double> localization_errors(
+    const EnvironmentRun& run, const linalg::Matrix& database,
+    LocalizerKind kind, std::size_t day, std::size_t samples = 3,
+    std::size_t trials = 1, const std::string& stream_tag = "online");
+
+/// Human-readable stamp label ("3 days", "3 months", ...).
+std::string stamp_label(std::size_t day);
+
+}  // namespace iup::eval

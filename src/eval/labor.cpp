@@ -1,0 +1,37 @@
+#include "eval/labor.hpp"
+
+#include <cmath>
+
+namespace iup::eval {
+
+std::vector<LaborSweepPoint> labor_cost_sweep(
+    std::size_t base_cells, std::size_t base_links,
+    const std::vector<double>& scales, std::size_t traditional_samples,
+    std::size_t iupdater_samples, const baselines::LaborParams& params) {
+  std::vector<LaborSweepPoint> out;
+  out.reserve(scales.size());
+  for (double k : scales) {
+    LaborSweepPoint p;
+    p.scale = k;
+    p.cells = static_cast<std::size_t>(
+        std::llround(static_cast<double>(base_cells) * k * k));
+    p.references = static_cast<std::size_t>(
+        std::llround(static_cast<double>(base_links) * k));
+    p.traditional_hours =
+        baselines::traditional_update_time_s(p.cells, traditional_samples,
+                                             params) /
+        3600.0;
+    p.iupdater_hours =
+        baselines::iupdater_update_time_s(p.references, iupdater_samples,
+                                          params) /
+        3600.0;
+    p.saving_fraction =
+        p.traditional_hours > 0.0
+            ? 1.0 - p.iupdater_hours / p.traditional_hours
+            : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace iup::eval

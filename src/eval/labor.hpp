@@ -1,0 +1,33 @@
+// Fig. 20 sweep: update time cost vs. monitored-area scale.
+//
+// When the edge length of the area grows by a factor k, the number of grid
+// cells grows as k^2 while the number of links — and therefore the matrix
+// rank and reference-location count — grows only as k.  That asymmetry is
+// why the paper pitches iUpdater for airports and malls.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/traditional.hpp"
+
+namespace iup::eval {
+
+struct LaborSweepPoint {
+  double scale = 1.0;             ///< multiple of the base edge length
+  std::size_t cells = 0;          ///< N(k) = N0 * k^2
+  std::size_t references = 0;     ///< n(k) = M0 * k
+  double traditional_hours = 0.0; ///< whole-database re-survey, 50 samples
+  double iupdater_hours = 0.0;    ///< reference survey, 5 samples
+  double saving_fraction = 0.0;
+};
+
+/// Sweep area scales (paper: 1..10x the base edge) starting from the given
+/// base deployment size.
+std::vector<LaborSweepPoint> labor_cost_sweep(
+    std::size_t base_cells, std::size_t base_links,
+    const std::vector<double>& scales,
+    std::size_t traditional_samples = 50, std::size_t iupdater_samples = 5,
+    const baselines::LaborParams& params = {});
+
+}  // namespace iup::eval

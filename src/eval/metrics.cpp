@@ -1,0 +1,70 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "loc/localizer.hpp"
+
+namespace iup::eval {
+
+std::vector<double> reconstruction_errors_db(const linalg::Matrix& x_hat,
+                                             const linalg::Matrix& x_truth,
+                                             const linalg::Matrix& b_mask,
+                                             double mask_value) {
+  if (x_hat.rows() != x_truth.rows() || x_hat.cols() != x_truth.cols() ||
+      x_hat.rows() != b_mask.rows() || x_hat.cols() != b_mask.cols()) {
+    throw std::invalid_argument("reconstruction_errors_db: shape mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(x_hat.size());
+  for (std::size_t i = 0; i < x_hat.rows(); ++i) {
+    for (std::size_t j = 0; j < x_hat.cols(); ++j) {
+      if (b_mask(i, j) == mask_value) {
+        out.push_back(std::abs(x_hat(i, j) - x_truth(i, j)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> reconstruction_errors_all_db(
+    const linalg::Matrix& x_hat, const linalg::Matrix& x_truth) {
+  if (x_hat.rows() != x_truth.rows() || x_hat.cols() != x_truth.cols()) {
+    throw std::invalid_argument(
+        "reconstruction_errors_all_db: shape mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(x_hat.size());
+  for (std::size_t k = 0; k < x_hat.data().size(); ++k) {
+    out.push_back(std::abs(x_hat.data()[k] - x_truth.data()[k]));
+  }
+  return out;
+}
+
+double localization_error_m(const sim::Deployment& deployment,
+                            std::size_t true_cell,
+                            std::size_t estimated_cell) {
+  return loc::cell_distance_m(deployment, true_cell, estimated_cell);
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    const auto lower = std::max_element(values.begin(), values.begin() + mid);
+    m = (m + *lower) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace iup::eval

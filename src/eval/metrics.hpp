@@ -1,0 +1,39 @@
+// Error metrics (Section VI-A, "Implementation"): the paper measures
+// reconstruction quality as the difference between the reconstructed and
+// the ground-truth fingerprint matrix [dB], and localization quality as
+// the Euclidean distance between the true and estimated locations [m].
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/deployment.hpp"
+
+namespace iup::eval {
+
+/// Per-entry absolute reconstruction errors |x_hat - x_truth| [dB] over the
+/// entries selected by `mask_value` in `b_mask`:
+///   mask_value = 0 -> errors over the *reconstructed* (affected) entries,
+///                     the paper's meaningful metric;
+///   mask_value = 1 -> errors over the directly measured entries (sanity).
+std::vector<double> reconstruction_errors_db(const linalg::Matrix& x_hat,
+                                             const linalg::Matrix& x_truth,
+                                             const linalg::Matrix& b_mask,
+                                             double mask_value = 0.0);
+
+/// Per-entry absolute errors over the whole matrix.
+std::vector<double> reconstruction_errors_all_db(const linalg::Matrix& x_hat,
+                                                 const linalg::Matrix& x_truth);
+
+/// Localization error [m]: distance between the centres of the true and
+/// the estimated grid cell.
+double localization_error_m(const sim::Deployment& deployment,
+                            std::size_t true_cell, std::size_t estimated_cell);
+
+/// Mean of a sample vector (0 for empty input).
+double mean_of(const std::vector<double>& values);
+
+/// Median of a sample vector (0 for empty input).
+double median_of(std::vector<double> values);
+
+}  // namespace iup::eval

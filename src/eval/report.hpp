@@ -1,0 +1,41 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the series a paper figure plots; these helpers
+// keep the output aligned and uniform so EXPERIMENTS.md can quote it
+// verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iup::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row of already-formatted cells (must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "=== title ===" banner used at the top of each bench section.
+std::string banner(const std::string& title);
+
+/// Format a double with fixed precision.
+std::string fmt(double value, int precision = 2);
+
+/// Format a percentage (0.921 -> "92.1%").
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace iup::eval

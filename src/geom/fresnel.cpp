@@ -1,0 +1,46 @@
+#include "geom/fresnel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iup::geom {
+
+double fresnel_radius(double lambda, double d1, double d2) {
+  const double d = d1 + d2;
+  if (d <= 0.0) return 0.0;
+  return std::sqrt(std::max(0.0, lambda * d1 * d2 / d));
+}
+
+double fresnel_v(double h, double lambda, double d1, double d2) {
+  if (d1 <= 0.0 || d2 <= 0.0) {
+    // Target collocated with a transceiver: treat as deeply obstructed.
+    return h > 0.0 ? 10.0 : -10.0;
+  }
+  return h * std::sqrt(2.0 * (d1 + d2) / (lambda * d1 * d2));
+}
+
+double knife_edge_loss_db(double v) {
+  // ITU-R P.526 approximation of the single-knife-edge diffraction loss:
+  //   J(v) = 6.9 + 20 log10( sqrt((v - 0.1)^2 + 1) + v - 0.1 ),  v > -0.78
+  // and 0 otherwise.  Smooth, strictly monotone, J(-0.78) ~ 0 and
+  // J(0) ~ 6 dB (grazing incidence), unlike Lee's piecewise fit which has
+  // ~1 dB seams at the segment boundaries.
+  if (v <= -0.78) return 0.0;
+  const double u = v - 0.1;
+  return 6.9 + 20.0 * std::log10(std::sqrt(u * u + 1.0) + u);
+}
+
+FresnelClearance fresnel_clearance(const Segment& link, Point2 target,
+                                   double lambda) {
+  FresnelClearance out;
+  const double t = projection_parameter(link, target);
+  out.inside_segment = t > 0.0 && t < 1.0;
+  const Point2 proj = link.at(t);
+  out.d1 = distance(link.a, proj);
+  out.d2 = distance(proj, link.b);
+  out.clearance = distance(target, proj);
+  out.zone_radius = fresnel_radius(lambda, out.d1, out.d2);
+  return out;
+}
+
+}  // namespace iup::geom

@@ -1,0 +1,34 @@
+#include "geom/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iup::geom {
+
+double dot(Point2 a, Point2 b) { return a.x * b.x + a.y * b.y; }
+
+double norm(Point2 p) { return std::sqrt(dot(p, p)); }
+
+double distance(Point2 a, Point2 b) { return norm(a - b); }
+
+double projection_parameter(const Segment& s, Point2 p) {
+  const Point2 d = s.b - s.a;
+  const double len2 = dot(d, d);
+  if (len2 == 0.0) return 0.0;  // degenerate segment
+  const double t = dot(p - s.a, d) / len2;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+double point_segment_distance(const Segment& s, Point2 p) {
+  return distance(p, s.at(projection_parameter(s, p)));
+}
+
+double point_line_distance(const Segment& s, Point2 p) {
+  const Point2 d = s.b - s.a;
+  const double len = norm(d);
+  if (len == 0.0) return distance(p, s.a);
+  const double cross = d.x * (p.y - s.a.y) - d.y * (p.x - s.a.x);
+  return std::abs(cross) / len;
+}
+
+}  // namespace iup::geom

@@ -1,0 +1,49 @@
+// 2-D geometry primitives for the monitoring area.
+//
+// The deployment is planar (Fig. 3 of the paper): M parallel links span the
+// area, grid cells tile it, and all radio computations reduce to distances
+// between a grid-cell centre and a transmitter/receiver segment.
+#pragma once
+
+#include <cstddef>
+
+namespace iup::geom {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(double s, Point2 p) { return {s * p.x, s * p.y}; }
+  bool operator==(const Point2&) const = default;
+};
+
+double dot(Point2 a, Point2 b);
+double norm(Point2 p);
+double distance(Point2 a, Point2 b);
+
+/// A wireless link: a straight segment from transmitter to receiver.
+struct Segment {
+  Point2 a;  ///< transmitter position
+  Point2 b;  ///< receiver position
+
+  double length() const { return distance(a, b); }
+
+  /// Point at parameter t in [0, 1] along the segment.
+  Point2 at(double t) const { return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)}; }
+};
+
+/// Parameter t in [0, 1] of the orthogonal projection of p onto the segment
+/// (clamped to the end points).
+double projection_parameter(const Segment& s, Point2 p);
+
+/// Shortest distance from p to any point of the segment.
+double point_segment_distance(const Segment& s, Point2 p);
+
+/// Perpendicular distance from p to the *infinite line* through the segment
+/// (sign discarded).  This is the Fresnel-clearance distance when the
+/// projection falls inside the segment.
+double point_line_distance(const Segment& s, Point2 p);
+
+}  // namespace iup::geom

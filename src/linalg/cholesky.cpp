@@ -1,0 +1,72 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace iup::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   std::span<const double> b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  }
+  // L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc / l(i, i);
+  }
+  // L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= l(j, i) * x[j];
+    x[i] = acc / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+  if (auto l = cholesky(a)) return cholesky_solve(*l, b);
+  return solve(a, b);
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("solve_spd: row count mismatch");
+  }
+  if (auto l = cholesky(a)) {
+    Matrix x(a.cols(), b.cols());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      x.set_col(j, cholesky_solve(*l, b.col(j)));
+    }
+    return x;
+  }
+  return solve(a, b);
+}
+
+}  // namespace iup::linalg

@@ -1,0 +1,30 @@
+// Cholesky factorisation for symmetric positive-definite systems.
+//
+// The normal-equation solves inside Algorithm 1 (Eq. 24) and the LRR
+// Z-update are SPD by construction (Gram matrices plus lambda*I), so the
+// solver pipeline prefers Cholesky and falls back to LU only when the
+// factorisation fails (e.g. lambda == 0 with a rank-deficient factor).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace iup::linalg {
+
+/// Lower-triangular factor L with a = L L^T, or nullopt when the input is
+/// not positive definite (within roundoff).
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solve a x = b where a is SPD, using a precomputed lower factor.
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
+
+/// Solve a x = b for SPD a.  Falls back to LU on factorisation failure so
+/// callers never have to branch on definiteness themselves.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Solve a X = B for SPD a, column by column, reusing one factorisation.
+Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+}  // namespace iup::linalg

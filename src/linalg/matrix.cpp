@@ -1,0 +1,304 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace iup::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diag(std::span<const double> d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::diag(std::initializer_list<double> d) {
+  return diag(std::span<const double>(d.begin(), d.size()));
+}
+
+Matrix Matrix::toeplitz(double lower, double center, double upper,
+                        std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = center;
+    if (i + 1 < n) {
+      m(i + 1, i) = lower;
+      m(i, i + 1) = upper;
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::from_columns(const std::vector<std::vector<double>>& cols) {
+  if (cols.empty()) return {};
+  const std::size_t nr = cols.front().size();
+  Matrix m(nr, cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (cols[j].size() != nr) {
+      throw std::invalid_argument("from_columns: ragged input");
+    }
+    for (std::size_t i = 0; i < nr; ++i) m(i, j) = cols[j][i];
+  }
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  const std::size_t nc = rows.front().size();
+  Matrix m(rows.size(), nc);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != nc) {
+      throw std::invalid_argument("from_rows: ragged input");
+    }
+    m.set_row(i, rows[i]);
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t i, std::size_t j) {
+  return data_[index(i, j)];
+}
+
+double Matrix::operator()(std::size_t i, std::size_t j) const {
+  return data_[index(i, j)];
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  if (i >= rows_ || j >= cols_) {
+    throw std::out_of_range("Matrix::at(" + std::to_string(i) + "," +
+                            std::to_string(j) + ") out of " +
+                            std::to_string(rows_) + "x" +
+                            std::to_string(cols_));
+  }
+  return data_[index(i, j)];
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  return const_cast<Matrix*>(this)->at(i, j);
+}
+
+std::span<double> Matrix::row_span(std::size_t i) {
+  return std::span<double>(data_).subspan(i * cols_, cols_);
+}
+
+std::span<const double> Matrix::row_span(std::size_t i) const {
+  return std::span<const double>(data_).subspan(i * cols_, cols_);
+}
+
+std::vector<double> Matrix::row(std::size_t i) const {
+  auto s = row_span(i);
+  return {s.begin(), s.end()};
+}
+
+std::vector<double> Matrix::col(std::size_t j) const {
+  std::vector<double> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::set_row(std::size_t i, std::span<const double> values) {
+  if (values.size() != cols_) {
+    throw std::invalid_argument("set_row: length mismatch");
+  }
+  std::copy(values.begin(), values.end(), row_span(i).begin());
+}
+
+void Matrix::set_col(std::size_t j, std::span<const double> values) {
+  if (values.size() != rows_) {
+    throw std::invalid_argument("set_col: length mismatch");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  if (r0 + nr > rows_ || c0 + nc > cols_) {
+    throw std::out_of_range("Matrix::block out of range");
+  }
+  Matrix out(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i) {
+    for (std::size_t j = 0; j < nc; ++j) out(i, j) = (*this)(r0 + i, c0 + j);
+  }
+  return out;
+}
+
+Matrix Matrix::select_columns(std::span<const std::size_t> indices) const {
+  Matrix out(rows_, indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] >= cols_) {
+      throw std::out_of_range("select_columns: index out of range");
+    }
+    for (std::size_t i = 0; i < rows_; ++i) out(i, k) = (*this)(i, indices[k]);
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] >= rows_) {
+      throw std::out_of_range("select_rows: index out of range");
+    }
+    out.set_row(k, row_span(indices[k]));
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+void Matrix::check_same_shape(const Matrix& rhs, const char* op) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument(std::string("Matrix ") + op +
+                                ": shape mismatch " + std::to_string(rows_) +
+                                "x" + std::to_string(cols_) + " vs " +
+                                std::to_string(rhs.rows_) + "x" +
+                                std::to_string(rhs.cols_));
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  check_same_shape(rhs, "+=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  check_same_shape(rhs, "-=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::operator/=(double s) {
+  for (double& v : data_) v /= s;
+  return *this;
+}
+
+Matrix Matrix::operator-() const {
+  Matrix out = *this;
+  for (double& v : out.data_) v = -v;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("Matrix product: inner dimension mismatch");
+  }
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both b and out.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> operator*(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("Matrix*vector: dimension mismatch");
+  }
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    auto r = a.row_span(i);
+    for (std::size_t j = 0; j < x.size(); ++j) acc += r[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::hadamard(const Matrix& rhs) const {
+  check_same_shape(rhs, "hadamard");
+  Matrix out = *this;
+  for (std::size_t k = 0; k < data_.size(); ++k) out.data_[k] *= rhs.data_[k];
+  return out;
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::max() const {
+  if (empty()) throw std::logic_error("Matrix::max on empty matrix");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Matrix::min() const {
+  if (empty()) throw std::logic_error("Matrix::min on empty matrix");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+bool Matrix::approx_equal(const Matrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    if (std::abs(data_[k] - rhs.data_[k]) > tol) return false;
+  }
+  return true;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    auto r = row_span(i);
+    for (std::size_t a = 0; a < cols_; ++a) {
+      const double ra = r[a];
+      if (ra == 0.0) continue;
+      for (std::size_t b = a; b < cols_; ++b) g(a, b) += ra * r[b];
+    }
+  }
+  for (std::size_t a = 0; a < cols_; ++a) {
+    for (std::size_t b = 0; b < a; ++b) g(a, b) = g(b, a);
+  }
+  return g;
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace iup::linalg

@@ -1,0 +1,63 @@
+#include "linalg/matrix_io.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iup::linalg {
+
+std::string to_string(const Matrix& a, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      os << std::setw(precision + 8) << a(i, j);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& a) {
+  return os << to_string(a);
+}
+
+std::string to_csv(const Matrix& a, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (j) os << ',';
+      os << a(i, j);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Matrix from_csv(const std::string& csv) {
+  std::vector<std::vector<double>> rows;
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("from_csv: bad cell '" + cell + "'");
+      }
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      throw std::invalid_argument("from_csv: ragged rows");
+    }
+    rows.push_back(std::move(row));
+  }
+  return Matrix::from_rows(rows);
+}
+
+}  // namespace iup::linalg

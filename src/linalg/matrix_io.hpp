@@ -1,0 +1,26 @@
+// Human-readable printing and CSV round-tripping for matrices.
+// Used by the benchmark harness to emit the figure series and by tests to
+// produce readable failure messages.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace iup::linalg {
+
+/// Fixed-width, fixed-precision rendering of a matrix ("  -71.25  -68.00 ...").
+std::string to_string(const Matrix& a, int precision = 3);
+
+/// Stream operator using the default precision.
+std::ostream& operator<<(std::ostream& os, const Matrix& a);
+
+/// Serialise as CSV (one row per line, comma separated).
+std::string to_csv(const Matrix& a, int precision = 9);
+
+/// Parse a CSV produced by `to_csv` (throws std::invalid_argument on
+/// ragged/garbled input).
+Matrix from_csv(const std::string& csv);
+
+}  // namespace iup::linalg

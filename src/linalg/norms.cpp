@@ -1,0 +1,45 @@
+#include "linalg/norms.hpp"
+
+#include <cmath>
+
+#include "linalg/svd.hpp"
+
+namespace iup::linalg {
+
+double frobenius_norm_sq(const Matrix& a) {
+  double acc = 0.0;
+  for (double v : a.data()) acc += v * v;
+  return acc;
+}
+
+double frobenius_norm(const Matrix& a) { return std::sqrt(frobenius_norm_sq(a)); }
+
+double nuclear_norm(const Matrix& a) {
+  double acc = 0.0;
+  for (double s : singular_values(a)) acc += s;
+  return acc;
+}
+
+double spectral_norm(const Matrix& a) {
+  const auto s = singular_values(a);
+  return s.empty() ? 0.0 : s.front();
+}
+
+double l21_norm(const Matrix& a) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) col += a(i, j) * a(i, j);
+    acc += std::sqrt(col);
+  }
+  return acc;
+}
+
+double relative_error(const Matrix& a, const Matrix& b) {
+  Matrix diff = a;
+  diff -= b;
+  const double denom = std::max(frobenius_norm(b), 1e-300);
+  return frobenius_norm(diff) / denom;
+}
+
+}  // namespace iup::linalg

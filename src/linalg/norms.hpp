@@ -1,0 +1,29 @@
+// Matrix norms used throughout the paper's objective functions:
+//   Frobenius (Eq. 7, 11, 18), nuclear norm ||.||_* and the column-wise
+//   l2,1 norm (Eq. 12, the LRR corruption term).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace iup::linalg {
+
+/// Frobenius norm sqrt(sum a_ij^2).
+double frobenius_norm(const Matrix& a);
+
+/// Squared Frobenius norm (avoids the sqrt in hot loops).
+double frobenius_norm_sq(const Matrix& a);
+
+/// Nuclear norm: sum of singular values.
+double nuclear_norm(const Matrix& a);
+
+/// Spectral norm: largest singular value.
+double spectral_norm(const Matrix& a);
+
+/// l2,1 norm: sum over columns of the column Euclidean norms
+/// (||E||_{2,1} in Eq. 12).
+double l21_norm(const Matrix& a);
+
+/// Relative Frobenius distance ||a - b||_F / max(||b||_F, eps).
+double relative_error(const Matrix& a, const Matrix& b);
+
+}  // namespace iup::linalg

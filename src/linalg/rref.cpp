@@ -1,0 +1,57 @@
+#include "linalg/rref.hpp"
+
+#include <cmath>
+
+namespace iup::linalg {
+
+RrefResult rref(const Matrix& a, double rel_tol) {
+  RrefResult out;
+  out.r = a;
+  Matrix& r = out.r;
+  const std::size_t m = r.rows();
+  const std::size_t n = r.cols();
+  const double scale = r.empty() ? 1.0 : std::max(r.max_abs(), 1e-300);
+  const double tol = rel_tol * scale;
+
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < m; ++col) {
+    // Partial pivoting within the column.
+    std::size_t pivot = row;
+    double best = std::abs(r(row, col));
+    for (std::size_t i = row + 1; i < m; ++i) {
+      const double v = std::abs(r(i, col));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best <= tol) {
+      // Numerically zero column below `row`: not a pivot column.
+      for (std::size_t i = row; i < m; ++i) r(i, col) = 0.0;
+      continue;
+    }
+    if (pivot != row) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(r(row, j), r(pivot, j));
+    }
+    const double p = r(row, col);
+    for (std::size_t j = 0; j < n; ++j) r(row, j) /= p;
+    r(row, col) = 1.0;  // exact
+
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == row) continue;
+      const double f = r(i, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) r(i, j) -= f * r(row, j);
+      r(i, col) = 0.0;  // exact
+    }
+    out.pivot_cols.push_back(col);
+    ++row;
+  }
+  return out;
+}
+
+std::vector<std::size_t> pivot_columns(const Matrix& a, double rel_tol) {
+  return rref(a, rel_tol).pivot_cols;
+}
+
+}  // namespace iup::linalg

@@ -1,0 +1,30 @@
+// Reduced row-echelon form and pivot-column extraction.
+//
+// Section IV-B of the paper selects reference locations as the grids whose
+// columns form a maximum independent column (MIC) set, found by "elementary
+// column transformation ... the first nonzero element in each row".  That
+// procedure is exactly Gauss-Jordan elimination: the pivot columns of the
+// RREF are a maximal independent column set of the original matrix.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace iup::linalg {
+
+struct RrefResult {
+  Matrix r;                             ///< the reduced row-echelon form
+  std::vector<std::size_t> pivot_cols;  ///< columns holding a leading 1
+};
+
+/// Gauss-Jordan elimination with partial pivoting.  `rel_tol` is relative to
+/// the largest absolute entry of the input and decides when a candidate
+/// pivot counts as zero (RSS matrices are noisy, so exact-zero tests would
+/// report full rank for numerically dependent columns).
+RrefResult rref(const Matrix& a, double rel_tol = 1e-10);
+
+/// Convenience: just the pivot columns (the MIC indices).
+std::vector<std::size_t> pivot_columns(const Matrix& a, double rel_tol = 1e-10);
+
+}  // namespace iup::linalg

@@ -1,0 +1,150 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace iup::linalg {
+
+namespace {
+
+// One-sided Jacobi on a tall-or-square matrix (m >= n).  Returns U (m x n),
+// sigma (n) and V (n x n) with A = U * diag(sigma) * V^T, sigma descending.
+void jacobi_svd_tall(const Matrix& a, Matrix& u, std::vector<double>& sigma,
+                     Matrix& v) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix w = a;  // working copy whose columns converge to sigma_j * u_j
+  v = Matrix::identity(n);
+
+  const double eps = 1e-14;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;  // largest normalised off-diagonal correlation
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        if (alpha == 0.0 || beta == 0.0) continue;
+        off = std::max(off, std::abs(gamma) / std::sqrt(alpha * beta));
+        if (std::abs(gamma) <= eps * std::sqrt(alpha * beta)) continue;
+
+        // Jacobi rotation that zeroes the (p,q) correlation.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off < eps) break;
+  }
+
+  // Column norms are the singular values; sort descending.
+  sigma.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(acc);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return sigma[x] > sigma[y];
+                   });
+
+  u = Matrix(m, n);
+  Matrix v_sorted(n, n);
+  std::vector<double> sigma_sorted(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t j = order[k];
+    sigma_sorted[k] = sigma[j];
+    if (sigma[j] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) u(i, k) = w(i, j) / sigma[j];
+    } else {
+      // Null direction: leave the column zero.  Callers that need a full
+      // orthonormal basis should re-orthogonalise; none of our algorithms do.
+      for (std::size_t i = 0; i < m; ++i) u(i, k) = 0.0;
+    }
+    for (std::size_t i = 0; i < n; ++i) v_sorted(i, k) = v(i, j);
+  }
+  sigma = std::move(sigma_sorted);
+  v = std::move(v_sorted);
+}
+
+}  // namespace
+
+Matrix SvdResult::reconstruct() const { return reconstruct_rank(sigma.size()); }
+
+Matrix SvdResult::reconstruct_rank(std::size_t r) const {
+  r = std::min(r, sigma.size());
+  Matrix out(u.rows(), v.rows());
+  for (std::size_t k = 0; k < r; ++k) {
+    const double s = sigma[k];
+    if (s == 0.0) continue;
+    for (std::size_t i = 0; i < u.rows(); ++i) {
+      const double uis = u(i, k) * s;
+      if (uis == 0.0) continue;
+      for (std::size_t j = 0; j < v.rows(); ++j) {
+        out(i, j) += uis * v(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+SvdResult svd(const Matrix& a) {
+  if (a.empty()) throw std::invalid_argument("svd: empty matrix");
+  SvdResult r;
+  if (a.rows() >= a.cols()) {
+    jacobi_svd_tall(a, r.u, r.sigma, r.v);
+  } else {
+    // SVD of A^T = V S U^T  =>  swap the factors.
+    Matrix ut, vt;
+    jacobi_svd_tall(a.transpose(), vt, r.sigma, ut);
+    r.u = std::move(ut);
+    r.v = std::move(vt);
+  }
+  return r;
+}
+
+std::vector<double> singular_values(const Matrix& a) { return svd(a).sigma; }
+
+std::size_t numerical_rank(const Matrix& a, double rel_tol) {
+  const auto s = singular_values(a);
+  if (s.empty() || s.front() == 0.0) return 0;
+  const double cutoff = rel_tol * s.front();
+  std::size_t rank = 0;
+  for (double v : s) {
+    if (v > cutoff) ++rank;
+  }
+  return rank;
+}
+
+Matrix singular_value_threshold(const Matrix& a, double tau) {
+  SvdResult d = svd(a);
+  for (double& s : d.sigma) s = std::max(0.0, s - tau);
+  return d.reconstruct();
+}
+
+}  // namespace iup::linalg

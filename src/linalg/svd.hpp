@@ -1,0 +1,48 @@
+// Singular value decomposition by one-sided Jacobi rotations.
+//
+// The paper leans on the SVD in three places:
+//  * Observation 1 / Fig. 5 — the normalized singular-value spectrum of the
+//    fingerprint matrix shows it is *approximately* low rank;
+//  * numerical rank estimation, which fixes r (the factorisation width of
+//    Algorithm 1) and the number of reference locations;
+//  * the LRR solver (Eq. 12), whose J-update is singular-value thresholding.
+//
+// One-sided Jacobi is chosen because it is compact, numerically robust and
+// computes small singular values to high relative accuracy; our matrices are
+// at most a few thousand entries so its O(mn^2) sweeps are irrelevant.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace iup::linalg {
+
+struct SvdResult {
+  Matrix u;                   ///< m x k, orthonormal columns (k = min(m, n))
+  std::vector<double> sigma;  ///< k singular values, descending, >= 0
+  Matrix v;                   ///< n x k, orthonormal columns
+
+  /// Reconstruct U * diag(sigma) * V^T.
+  Matrix reconstruct() const;
+
+  /// Reconstruct keeping only the leading `r` singular triplets
+  /// (the best rank-r approximation, Eq. 7 of the paper).
+  Matrix reconstruct_rank(std::size_t r) const;
+};
+
+/// Thin SVD of an arbitrary (possibly wide) matrix.
+SvdResult svd(const Matrix& a);
+
+/// Singular values only (cheaper bookkeeping, same sweeps).
+std::vector<double> singular_values(const Matrix& a);
+
+/// Numerical rank: number of singular values > rel_tol * sigma_max.
+std::size_t numerical_rank(const Matrix& a, double rel_tol = 1e-9);
+
+/// Soft-threshold the singular values: U * max(Sigma - tau, 0) * V^T.
+/// This is the proximal operator of the nuclear norm used by the LRR
+/// Augmented-Lagrange iterations.
+Matrix singular_value_threshold(const Matrix& a, double tau);
+
+}  // namespace iup::linalg

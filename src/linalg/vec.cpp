@@ -1,0 +1,119 @@
+#include "linalg/vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iup::linalg {
+
+namespace {
+void check_same_length(std::span<const double> a, std::span<const double> b,
+                       const char* op) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string("vec ") + op +
+                                ": length mismatch");
+  }
+}
+}  // namespace
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  check_same_length(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm1(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double norm_inf(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("axpy: length mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> add(std::span<const double> a, std::span<const double> b) {
+  check_same_length(a, b, "add");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> sub(std::span<const double> a, std::span<const double> b) {
+  check_same_length(a, b, "sub");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> scale(double alpha, std::span<const double> x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i];
+  return out;
+}
+
+std::vector<double> normalized(std::span<const double> x) {
+  const double n = norm2(x);
+  if (n == 0.0) return {x.begin(), x.end()};
+  return scale(1.0 / n, x);
+}
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double stdev(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(x.size() - 1));
+}
+
+std::size_t argmax_abs(std::span<const double> x) {
+  std::size_t best = 0;
+  double best_val = -1.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i]) > best_val) {
+      best_val = std::abs(x[i]);
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t argmax(std::span<const double> x) {
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+std::size_t argmin(std::span<const double> x) {
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::min_element(x.begin(), x.end())));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("linspace: need n >= 2");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace iup::linalg

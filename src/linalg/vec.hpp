@@ -1,0 +1,57 @@
+// Free functions on std::vector<double> / std::span<const double>.
+//
+// We deliberately keep vectors as plain std::vector<double>: the paper's
+// column vectors (theta_j, online measurement y, ...) never need more
+// structure, and plain vectors interoperate with the Matrix row/col copies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace iup::linalg {
+
+/// Dot product; lengths must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm ||x||_2.
+double norm2(std::span<const double> x);
+
+/// ||x||_1.
+double norm1(std::span<const double> x);
+
+/// Largest |x_i|.
+double norm_inf(std::span<const double> x);
+
+/// y += alpha * x  (lengths must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Element-wise a + b and a - b.
+std::vector<double> add(std::span<const double> a, std::span<const double> b);
+std::vector<double> sub(std::span<const double> a, std::span<const double> b);
+
+/// alpha * x.
+std::vector<double> scale(double alpha, std::span<const double> x);
+
+/// Return x normalised to unit Euclidean norm.  A zero vector is returned
+/// unchanged (caller decides how to treat degenerate atoms).
+std::vector<double> normalized(std::span<const double> x);
+
+/// Mean of the entries; 0 for an empty vector.
+double mean(std::span<const double> x);
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 entries.
+double stdev(std::span<const double> x);
+
+/// Index of the largest |x_i|; 0 for an empty vector.
+std::size_t argmax_abs(std::span<const double> x);
+
+/// Index of the largest x_i.
+std::size_t argmax(std::span<const double> x);
+
+/// Index of the smallest x_i.
+std::size_t argmin(std::span<const double> x);
+
+/// Evenly spaced values: n points from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace iup::linalg

@@ -1,0 +1,71 @@
+#include "loc/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "geom/geometry.hpp"
+#include "linalg/vec.hpp"
+
+namespace iup::loc {
+
+KnnLocalizer::KnnLocalizer(linalg::Matrix database, KnnOptions options)
+    : database_(std::move(database)), options_(options) {
+  if (database_.empty()) {
+    throw std::invalid_argument("KnnLocalizer: empty database");
+  }
+  if (options_.k == 0) {
+    throw std::invalid_argument("KnnLocalizer: k must be >= 1");
+  }
+}
+
+LocalizationEstimate KnnLocalizer::localize(
+    std::span<const double> measurement) const {
+  if (measurement.size() != database_.rows()) {
+    throw std::invalid_argument("KnnLocalizer: measurement length mismatch");
+  }
+
+  // Euclidean distance to every fingerprint column.
+  std::vector<double> dist(database_.cols());
+  for (std::size_t j = 0; j < database_.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < database_.rows(); ++i) {
+      const double d = measurement[i] - database_(i, j);
+      acc += d * d;
+    }
+    dist[j] = std::sqrt(acc);
+  }
+
+  const std::size_t k = std::min(options_.k, dist.size());
+  std::vector<std::size_t> order(dist.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return dist[a] < dist[b];
+                    });
+
+  LocalizationEstimate est;
+  est.score = dist[order[0]];
+  if (k == 1 || deployment_ == nullptr) {
+    est.cell = order[0];
+    return est;
+  }
+
+  // Distance-weighted centroid of the k best cells, snapped back to the
+  // nearest grid cell.
+  double wx = 0.0, wy = 0.0, wsum = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const std::size_t j = order[t];
+    const double w = 1.0 / (dist[j] + 1e-6);
+    const geom::Point2 c = deployment_->cell_center(j);
+    wx += w * c.x;
+    wy += w * c.y;
+    wsum += w;
+  }
+  est.cell = deployment_->nearest_cell({wx / wsum, wy / wsum});
+  return est;
+}
+
+}  // namespace iup::loc

@@ -1,0 +1,41 @@
+// K-nearest-neighbour fingerprint matching.
+//
+// The classic RADAR-style matcher the paper mentions as an alternative to
+// its nonlinear-optimization approach (Sec. V).  Included both as a
+// comparison localizer and because the KNN-vs-OMP gap is part of what the
+// RASS comparison (Figs. 23/24) attributes to the matching algorithm.
+#pragma once
+
+#include "loc/localizer.hpp"
+
+namespace iup::loc {
+
+struct KnnOptions {
+  std::size_t k = 3;  ///< neighbours averaged for the estimate
+};
+
+class KnnLocalizer final : public Localizer {
+ public:
+  KnnLocalizer(linalg::Matrix database, KnnOptions options = {});
+
+  /// Nearest column by Euclidean distance; with k > 1 the estimate is the
+  /// cell whose centre is closest to the distance-weighted centroid of the
+  /// k best cells (needs a deployment for geometry).
+  LocalizationEstimate localize(
+      std::span<const double> measurement) const override;
+
+  std::string name() const override { return "KNN"; }
+
+  /// Attach deployment geometry to enable centroid averaging; without it,
+  /// k is effectively 1.
+  void set_deployment(const sim::Deployment* deployment) {
+    deployment_ = deployment;
+  }
+
+ private:
+  linalg::Matrix database_;
+  KnnOptions options_;
+  const sim::Deployment* deployment_ = nullptr;
+};
+
+}  // namespace iup::loc

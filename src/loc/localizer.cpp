@@ -1,0 +1,12 @@
+#include "loc/localizer.hpp"
+
+#include "geom/geometry.hpp"
+
+namespace iup::loc {
+
+double cell_distance_m(const sim::Deployment& deployment, std::size_t a,
+                       std::size_t b) {
+  return geom::distance(deployment.cell_center(a), deployment.cell_center(b));
+}
+
+}  // namespace iup::loc

@@ -1,0 +1,69 @@
+#include "rng/processes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iup::rng {
+
+Ar1Process::Ar1Process(double phi, double sigma, Rng rng)
+    : phi_(phi),
+      innovation_sigma_(sigma * std::sqrt(std::max(0.0, 1.0 - phi * phi))),
+      rng_(rng) {
+  if (phi < 0.0 || phi >= 1.0) {
+    throw std::invalid_argument("Ar1Process: phi must be in [0, 1)");
+  }
+  // Start from the stationary distribution so traces have no burn-in bias.
+  state_ = rng_.normal(0.0, sigma);
+}
+
+double Ar1Process::step() {
+  state_ = phi_ * state_ + rng_.normal(0.0, innovation_sigma_);
+  return state_;
+}
+
+std::vector<double> Ar1Process::trace(std::size_t n) {
+  std::vector<double> out(n);
+  for (double& v : out) v = step();
+  return out;
+}
+
+OutlierMixture::OutlierMixture(double core_sigma, double outlier_prob,
+                               double outlier_sigma, Rng rng)
+    : core_sigma_(core_sigma),
+      outlier_prob_(outlier_prob),
+      outlier_sigma_(outlier_sigma),
+      rng_(rng) {
+  if (outlier_prob < 0.0 || outlier_prob > 1.0) {
+    throw std::invalid_argument("OutlierMixture: bad probability");
+  }
+}
+
+double OutlierMixture::sample() {
+  if (rng_.uniform() < outlier_prob_) return rng_.normal(0.0, outlier_sigma_);
+  return rng_.normal(0.0, core_sigma_);
+}
+
+std::vector<double> OutlierMixture::samples(std::size_t n) {
+  std::vector<double> out(n);
+  for (double& v : out) v = sample();
+  return out;
+}
+
+RandomWalkDrift::RandomWalkDrift(double step_sigma, double bound, Rng rng)
+    : step_sigma_(step_sigma), bound_(bound), rng_(rng) {
+  if (bound <= 0.0) {
+    throw std::invalid_argument("RandomWalkDrift: bound must be positive");
+  }
+}
+
+double RandomWalkDrift::advance(std::size_t steps) {
+  for (std::size_t k = 0; k < steps; ++k) {
+    state_ += rng_.normal(0.0, step_sigma_);
+    // Reflect at the bounds.
+    if (state_ > bound_) state_ = 2.0 * bound_ - state_;
+    if (state_ < -bound_) state_ = -2.0 * bound_ - state_;
+  }
+  return state_;
+}
+
+}  // namespace iup::rng

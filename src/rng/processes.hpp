@@ -1,0 +1,78 @@
+// Stochastic processes used by the RSS simulator.
+//
+//  * Ar1Process — first-order autoregressive fading: short-term RSS traces
+//    are strongly time-correlated (Fig. 1 shows multi-second excursions),
+//    which plain iid noise cannot produce.
+//  * OutlierMixture — iid Gaussian noise with occasional large outliers
+//    (people walking by, interference bursts); the heavy tail is exactly
+//    what Constraint 2 is designed to reject (Fig. 17).
+//  * RandomWalkDrift — bounded slow random walk for day-scale drift.
+#pragma once
+
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace iup::rng {
+
+/// x_{t+1} = phi * x_t + sqrt(1 - phi^2) * sigma * n_t, stationary
+/// marginal N(0, sigma^2).
+class Ar1Process {
+ public:
+  /// phi in [0, 1): correlation between consecutive samples.
+  Ar1Process(double phi, double sigma, Rng rng);
+
+  /// Advance one step and return the new value.
+  double step();
+
+  /// Current value without advancing.
+  double value() const { return state_; }
+
+  /// Generate a trace of `n` consecutive samples.
+  std::vector<double> trace(std::size_t n);
+
+ private:
+  double phi_;
+  double innovation_sigma_;
+  double state_ = 0.0;
+  Rng rng_;
+};
+
+/// Gaussian core with probability (1 - outlier_prob); an outlier drawn from
+/// N(0, outlier_sigma^2) otherwise.
+class OutlierMixture {
+ public:
+  OutlierMixture(double core_sigma, double outlier_prob, double outlier_sigma,
+                 Rng rng);
+
+  double sample();
+
+  std::vector<double> samples(std::size_t n);
+
+ private:
+  double core_sigma_;
+  double outlier_prob_;
+  double outlier_sigma_;
+  Rng rng_;
+};
+
+/// Slow bounded random walk: value(t) interpolates day-scale drift; the
+/// reflection at +/- bound keeps drift physically plausible (RSS offsets do
+/// not grow without limit).
+class RandomWalkDrift {
+ public:
+  RandomWalkDrift(double step_sigma, double bound, Rng rng);
+
+  /// Value after `steps` increments from the initial state 0.
+  double advance(std::size_t steps);
+
+  double value() const { return state_; }
+
+ private:
+  double step_sigma_;
+  double bound_;
+  double state_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace iup::rng

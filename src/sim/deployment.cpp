@@ -1,0 +1,65 @@
+#include "sim/deployment.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace iup::sim {
+
+Deployment::Deployment(const DeploymentConfig& config) : config_(config) {
+  if (config.num_links == 0 || config.slots_per_link == 0) {
+    throw std::invalid_argument("Deployment: need at least one link and slot");
+  }
+  if (config.cell_spacing_m <= 0.0) {
+    throw std::invalid_argument("Deployment: cell spacing must be positive");
+  }
+
+  const std::size_t m = config.num_links;
+  const std::size_t s = config.slots_per_link;
+
+  // Links run along x, evenly spread across the height with half-spacing
+  // margins at the walls (matches the paper's layouts, Figs. 11-13).
+  link_spacing_ = config.area_height_m / static_cast<double>(m + 1);
+  links_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double y = link_spacing_ * static_cast<double>(i + 1);
+    links_.push_back(
+        geom::Segment{{0.0, y}, {config.area_width_m, y}});
+  }
+
+  // Band cells sit on their link's line, centred within the room so the
+  // effective (grid-covered) area keeps a margin to the transceivers.
+  const double band_extent =
+      config.cell_spacing_m * static_cast<double>(s - 1);
+  const double free_width = config.area_width_m - band_extent;
+  if (free_width < 0.0) {
+    throw std::invalid_argument(
+        "Deployment: slots do not fit the area width");
+  }
+  if (config.band_offset_frac < 0.0 || config.band_offset_frac > 1.0) {
+    throw std::invalid_argument(
+        "Deployment: band_offset_frac must be in [0, 1]");
+  }
+  const double x0 = free_width * config.band_offset_frac;
+  cells_.reserve(m * s);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double y = links_[i].a.y;
+    for (std::size_t u = 0; u < s; ++u) {
+      cells_.push_back({x0 + config.cell_spacing_m * static_cast<double>(u), y});
+    }
+  }
+}
+
+std::size_t Deployment::nearest_cell(geom::Point2 p) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < cells_.size(); ++j) {
+    const double d = geom::distance(p, cells_[j]);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace iup::sim

@@ -1,0 +1,69 @@
+#include "sim/drift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/processes.hpp"
+
+namespace iup::sim {
+
+DriftModel::DriftModel(const Environment& env, std::size_t num_links,
+                       std::size_t max_day, rng::Rng rng)
+    : max_day_(max_day),
+      aging_sigma_db_(env.aging_sigma_db),
+      morph_rate_(env.morph_rate_rad_per_sqrt_day),
+      aging_seed_(rng.fork("aging")) {
+  rng::RandomWalkDrift global_walk(env.drift_global_step_db,
+                                   env.drift_bound_db, rng.fork("global"));
+  global_.resize(max_day + 1);
+  global_[0] = 0.0;
+  for (std::size_t d = 1; d <= max_day; ++d) {
+    global_[d] = global_walk.advance(1);
+  }
+
+  per_link_.resize(num_links);
+  for (std::size_t i = 0; i < num_links; ++i) {
+    rng::RandomWalkDrift link_walk(env.drift_link_step_db, env.drift_bound_db,
+                                   rng.fork("link").fork(i));
+    auto& traj = per_link_[i];
+    traj.resize(max_day + 1);
+    traj[0] = 0.0;
+    for (std::size_t d = 1; d <= max_day; ++d) {
+      traj[d] = link_walk.advance(1);
+    }
+  }
+}
+
+void DriftModel::check_day(std::size_t day) const {
+  if (day > max_day_) {
+    throw std::out_of_range("DriftModel: day beyond precomputed horizon");
+  }
+}
+
+double DriftModel::global_offset(std::size_t day) const {
+  check_day(day);
+  return global_[day];
+}
+
+double DriftModel::link_offset(std::size_t link, std::size_t day) const {
+  check_day(day);
+  return global_[day] + per_link_.at(link)[day];
+}
+
+double DriftModel::morph_angle(std::size_t day) const {
+  check_day(day);
+  return morph_rate_ * std::sqrt(static_cast<double>(day));
+}
+
+double DriftModel::aging_noise(std::size_t link, std::size_t cell,
+                               std::size_t day) const {
+  check_day(day);
+  if (day == 0) return 0.0;
+  // Deterministic draw keyed by (link, cell, day): fork a child stream and
+  // take its first normal deviate, scaled by sqrt(day).
+  rng::Rng child = aging_seed_.fork(link).fork(cell).fork(day);
+  return aging_sigma_db_ * std::sqrt(static_cast<double>(day)) *
+         child.normal();
+}
+
+}  // namespace iup::sim

@@ -1,0 +1,66 @@
+// Long-term RSS drift over days and months.
+//
+// The paper's Fig. 2 shows the mean RSS at a fixed location shifting by
+// ~2.5 dB after 5 days and ~6 dB after 45 days even with no activity in the
+// room (temperature/humidity, Rappaport [23]).  Crucially for iUpdater,
+// that drift is *spatially coherent*: differences between neighbouring
+// locations and adjacent links stay stable (Observations 2/3) while the
+// absolute level wanders.  Our model therefore decomposes the drift into
+//
+//   delta(i, j, t) = g(t)               common random walk (all links)
+//                  + l_i(t)             per-link random walk (RF chain aging)
+//                  + morph(i, j, t)     slow rotation of the multipath field
+//                  + a(i, j, t)         tiny iid aging noise
+//
+// The first two terms are constant along a row of the fingerprint matrix,
+// so they leave Observation-2/3 differences untouched; the morph term is
+// what makes old fingerprints genuinely stale (reconstruction error grows
+// with the update interval, paper Fig. 18).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+#include "sim/environment.hpp"
+
+namespace iup::sim {
+
+class DriftModel {
+ public:
+  /// Precomputes day-resolution drift trajectories for `num_links` links up
+  /// to `max_day` (inclusive), so queries at any supported day are O(1) and
+  /// mutually consistent.
+  DriftModel(const Environment& env, std::size_t num_links,
+             std::size_t max_day, rng::Rng rng);
+
+  std::size_t max_day() const { return max_day_; }
+
+  /// Common (all-link) drift offset at integer day t [dB].
+  double global_offset(std::size_t day) const;
+
+  /// Per-link drift offset (includes the global term) at day t [dB].
+  double link_offset(std::size_t link, std::size_t day) const;
+
+  /// Multipath/shadowing morph angle at day t [rad]; grows diffusively
+  /// (~sqrt(t)), and sim::Testbed blends static field pairs with it.
+  double morph_angle(std::size_t day) const;
+
+  /// Deterministic per-entry aging noise at day t [dB]; grows ~sqrt(day).
+  /// Keyed by (link, cell) so repeated queries agree.
+  double aging_noise(std::size_t link, std::size_t cell,
+                     std::size_t day) const;
+
+ private:
+  void check_day(std::size_t day) const;
+
+  std::size_t max_day_;
+  double aging_sigma_db_;
+  double morph_rate_;
+  std::vector<double> global_;                 ///< [day]
+  std::vector<std::vector<double>> per_link_;  ///< [link][day]
+  rng::Rng aging_seed_;
+};
+
+}  // namespace iup::sim

@@ -1,0 +1,17 @@
+#include "sim/environment.hpp"
+
+namespace iup::sim {
+
+std::string to_string(MultipathLevel level) {
+  switch (level) {
+    case MultipathLevel::kLow:
+      return "low multipath";
+    case MultipathLevel::kMedium:
+      return "medium multipath";
+    case MultipathLevel::kHigh:
+      return "high multipath";
+  }
+  return "unknown";
+}
+
+}  // namespace iup::sim

@@ -1,0 +1,60 @@
+// Environment descriptor: the physical room a testbed lives in.
+//
+// The paper evaluates in three rooms that differ chiefly in multipath
+// richness (Sec. VI-A): an empty hall (low, mostly LoS), an office with
+// desks and cubicles (medium, mixed LoS/NLoS) and a library with metal
+// shelves (high, rich NLoS).  We encode a room as a handful of radio
+// parameters; the geometric layout lives in sim::Deployment.
+#pragma once
+
+#include <string>
+
+namespace iup::sim {
+
+/// Qualitative multipath class, used for reporting (Figs. 19/22 group
+/// results by it).
+enum class MultipathLevel { kLow, kMedium, kHigh };
+
+struct Environment {
+  std::string name;                ///< "office", "library", "hall", ...
+  double width_m = 9.0;            ///< room extent along the link direction
+  double height_m = 12.0;          ///< room extent across links
+  MultipathLevel multipath = MultipathLevel::kMedium;
+
+  // --- radio propagation ---------------------------------------------
+  double path_loss_exponent = 3.0;  ///< log-distance exponent n
+  double multipath_sigma_db = 1.2;  ///< stddev of the target-induced
+                                    ///< multipath texture at zero distance
+                                    ///< from the link [dB]; decays with the
+                                    ///< cell-to-link distance
+  /// Spatial smoothness of the own-band texture along a link, in [0, 1]:
+  /// 0 = white, 1 = fully smoothed.  Neighbouring cells (0.6 m apart) see
+  /// similar multipath, which is exactly the paper's Observation 2.
+  double texture_smoothness = 0.75;
+  /// Correlation of the own-band texture across adjacent links, in [0, 1]
+  /// (Observation 3: adjacent links share reflectors).
+  double texture_link_corr = 0.7;
+
+  // --- temporal dynamics ----------------------------------------------
+  double drift_global_step_db = 0.55;   ///< day-scale common random walk step
+  double drift_link_step_db = 0.45;     ///< per-link random-walk step [dB/day]
+  double drift_bound_db = 8.0;          ///< reflection bound for drift walks
+  double morph_rate_rad_per_sqrt_day = 0.12;  ///< multipath/shadow morphing,
+                                              ///< diffusive (angle ~ sqrt(t))
+  double shadow_morph_frac = 0.20;   ///< relative attenuation-profile morph
+                                     ///< amplitude at full blend
+  double aging_sigma_db = 0.05;      ///< per-entry aging noise per sqrt(day)
+  double band_aging_sigma_db = 0.25; ///< extra aging on largely-decrease
+                                     ///< entries per sqrt(day) [dB]
+
+  // --- short-term channel ----------------------------------------------
+  double fading_sigma_db = 1.1;   ///< stationary stddev of AR(1) fading
+  double fading_phi = 0.92;       ///< AR(1) coefficient at the 0.5 s probe rate
+  double outlier_prob = 0.04;     ///< probability of an interference outlier
+  double outlier_sigma_db = 3.5;  ///< stddev of outlier excursions
+};
+
+/// Human-readable multipath label ("low multipath", ...).
+std::string to_string(MultipathLevel level);
+
+}  // namespace iup::sim

@@ -1,0 +1,42 @@
+#include "sim/radio_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iup::sim {
+
+double RadioModel::path_loss_db(double distance_m) const {
+  const double d = std::max(distance_m, params_.reference_dist_m);
+  return params_.pl0_db + 10.0 * params_.path_loss_exponent *
+                              std::log10(d / params_.reference_dist_m);
+}
+
+double RadioModel::baseline_rss_dbm(double link_length_m) const {
+  return params_.tx_power_dbm - path_loss_db(link_length_m);
+}
+
+double RadioModel::target_loss_db(const geom::Segment& link,
+                                  geom::Point2 target) const {
+  const geom::FresnelClearance fc =
+      geom::fresnel_clearance(link, target, params_.lambda_m);
+  if (!fc.inside_segment) return 0.0;
+  // Signed obstruction height: how far the body edge intrudes past the
+  // line of sight.  Positive -> LoS blocked, negative -> clearance.
+  const double h = params_.target_radius_m - fc.clearance;
+  const double v = geom::fresnel_v(h, params_.lambda_m, fc.d1, fc.d2);
+  return geom::knife_edge_loss_db(v);
+}
+
+bool RadioModel::inside_ffz(const geom::Segment& link,
+                            geom::Point2 target) const {
+  const geom::FresnelClearance fc =
+      geom::fresnel_clearance(link, target, params_.lambda_m);
+  if (!fc.inside_segment) return false;
+  return fc.clearance <= fc.zone_radius + params_.target_radius_m;
+}
+
+double RadioModel::clamp_rss(double rss_dbm) const {
+  return std::clamp(rss_dbm, params_.min_rss_dbm, params_.max_rss_dbm);
+}
+
+}  // namespace iup::sim

@@ -1,0 +1,56 @@
+// Deterministic radio physics: path loss and target-induced attenuation.
+//
+// This is the noiseless core of the substitute testbed.  Everything
+// stochastic (multipath fields, drift, fading) is layered on top by
+// sim::Testbed / sim::Sampler; keeping the physics pure makes it unit
+// testable against hand-computed values.
+#pragma once
+
+#include "geom/fresnel.hpp"
+#include "geom/geometry.hpp"
+
+namespace iup::sim {
+
+struct RadioParams {
+  double tx_power_dbm = 15.0;   ///< typical COTS AP transmit power
+  double pl0_db = 40.0;         ///< path loss at the reference distance
+  double reference_dist_m = 1.0;
+  double path_loss_exponent = 3.0;
+  double lambda_m = 0.125;      ///< 2.4 GHz Wi-Fi wavelength
+  double target_radius_m = 0.22;  ///< effective RF cross-section of a person
+  double min_rss_dbm = -95.0;   ///< receiver sensitivity floor
+  double max_rss_dbm = -20.0;
+};
+
+class RadioModel {
+ public:
+  explicit RadioModel(const RadioParams& params) : params_(params) {}
+
+  const RadioParams& params() const { return params_; }
+
+  /// Log-distance path loss [dB] at distance d.
+  double path_loss_db(double distance_m) const;
+
+  /// RSS of an unobstructed link of the given length [dBm].
+  double baseline_rss_dbm(double link_length_m) const;
+
+  /// Extra loss [dB, >= 0] a target standing at `target` inflicts on `link`.
+  /// Knife-edge diffraction keyed to the first Fresnel zone:
+  ///  - target on the direct path      -> large loss, larger near the
+  ///    transceivers than at the midpoint (paper Sec. IV-C-1);
+  ///  - target inside the FFZ, off path -> small loss;
+  ///  - target outside the FFZ          -> ~0.
+  double target_loss_db(const geom::Segment& link, geom::Point2 target) const;
+
+  /// True when the target position obstructs any part of the FFZ
+  /// (i.e. the affected regimes of Fig. 4; outside -> a "no-decrease" cell).
+  bool inside_ffz(const geom::Segment& link, geom::Point2 target) const;
+
+  /// Clamp an RSS value into the receiver's representable range.
+  double clamp_rss(double rss_dbm) const;
+
+ private:
+  RadioParams params_;
+};
+
+}  // namespace iup::sim

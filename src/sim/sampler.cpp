@@ -1,0 +1,110 @@
+#include "sim/sampler.hpp"
+
+#include <cmath>
+
+namespace iup::sim {
+
+namespace {
+// Split of the fading variance between the common-mode component (RF
+// interference, ambient activity — hits every link at once) and the
+// per-link residual.  The common share is what makes RSS *differences*
+// between links and nearby locations stable (Fig. 6 / Observations 2-3).
+constexpr double kCommonFadingShare = 0.75;
+}  // namespace
+
+Sampler::Sampler(const Testbed& testbed, std::string_view stream)
+    : testbed_(&testbed),
+      common_fading_(testbed.environment().fading_phi,
+                     std::sqrt(kCommonFadingShare) *
+                         testbed.environment().fading_sigma_db,
+                     testbed.fork_rng("sampler-common").fork(stream)) {
+  const Environment& env = testbed.environment();
+  rng::Rng base = testbed.fork_rng("sampler").fork(stream);
+  const double link_sigma =
+      std::sqrt(1.0 - kCommonFadingShare) * env.fading_sigma_db;
+  fading_.reserve(testbed.num_links());
+  outliers_.reserve(testbed.num_links());
+  for (std::size_t i = 0; i < testbed.num_links(); ++i) {
+    fading_.emplace_back(env.fading_phi, link_sigma,
+                         base.fork("fading").fork(i));
+    outliers_.emplace_back(0.0, env.outlier_prob, env.outlier_sigma_db,
+                           base.fork("outlier").fork(i));
+  }
+}
+
+void Sampler::tick() {
+  common_fading_.step();
+  for (auto& f : fading_) f.step();
+}
+
+double Sampler::read(std::size_t link, std::optional<std::size_t> cell,
+                     std::size_t day) {
+  const double mean = cell ? testbed_->mean_rss(link, *cell, day)
+                           : testbed_->mean_baseline_rss(link, day);
+  const double reading = mean + common_fading_.value() +
+                         fading_[link].value() + outliers_[link].sample();
+  return testbed_->radio().clamp_rss(reading);
+}
+
+double Sampler::sample(std::size_t link, std::optional<std::size_t> cell,
+                       std::size_t day) {
+  tick();
+  return read(link, cell, day);
+}
+
+std::vector<double> Sampler::trace(std::size_t link,
+                                   std::optional<std::size_t> cell,
+                                   std::size_t day, std::size_t count) {
+  std::vector<double> out(count);
+  for (double& v : out) v = sample(link, cell, day);
+  return out;
+}
+
+double Sampler::averaged(std::size_t link, std::optional<std::size_t> cell,
+                         std::size_t day, std::size_t count) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < count; ++k) acc += sample(link, cell, day);
+  return acc / static_cast<double>(count);
+}
+
+std::vector<double> Sampler::survey_column(std::size_t cell, std::size_t day,
+                                           std::size_t samples_per_location) {
+  // All links are probed each beacon interval (the real deployment reads
+  // every AP-client pair concurrently), so one tick serves all links.
+  std::vector<double> out(testbed_->num_links(), 0.0);
+  for (std::size_t k = 0; k < samples_per_location; ++k) {
+    tick();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += read(i, cell, day);
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(samples_per_location);
+  return out;
+}
+
+linalg::Matrix Sampler::survey_full(std::size_t day,
+                                    std::size_t samples_per_location) {
+  linalg::Matrix x(testbed_->num_links(), testbed_->num_cells());
+  for (std::size_t j = 0; j < testbed_->num_cells(); ++j) {
+    const auto col = survey_column(j, day, samples_per_location);
+    x.set_col(j, col);
+  }
+  return x;
+}
+
+std::vector<double> Sampler::survey_baselines(std::size_t day,
+                                              std::size_t samples) {
+  std::vector<double> out(testbed_->num_links());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = averaged(i, std::nullopt, day, samples);
+  }
+  return out;
+}
+
+std::vector<double> Sampler::online_measurement(std::size_t cell,
+                                                std::size_t day,
+                                                std::size_t samples) {
+  return survey_column(cell, day, samples);
+}
+
+}  // namespace iup::sim

@@ -1,0 +1,75 @@
+// Short-term RSS sampling on top of a Testbed.
+//
+// Reproduces the measurement process of the paper's deployment: each AP
+// probes its client every 0.5 s; a reading is the testbed's mean RSS plus
+// AR(1) fading plus occasional interference outliers (Fig. 1 shows ~5 dB
+// swings within 100 s).  Surveys average k consecutive readings per
+// location — the paper's traditional systems use k = 50, iUpdater k = 5.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/processes.hpp"
+#include "sim/testbeds.hpp"
+
+namespace iup::sim {
+
+class Sampler {
+ public:
+  /// `stream` distinguishes independent measurement campaigns on the same
+  /// testbed (e.g. the original survey vs. an update survey vs. online
+  /// localization traffic).
+  Sampler(const Testbed& testbed, std::string_view stream);
+
+  const Testbed& testbed() const { return *testbed_; }
+
+  /// Advance one probing interval: the common-mode fading (interference,
+  /// ambient activity — shared by all links, which is why RSS *differences*
+  /// are stable, Fig. 6) and every per-link fading process step once.
+  void tick();
+
+  /// Read link i at the current instant; `cell` empty means no target.
+  /// Concurrent reads of different links share the same fading state.
+  double read(std::size_t link, std::optional<std::size_t> cell,
+              std::size_t day);
+
+  /// tick() + read(): one RSS reading of link i at day t.
+  double sample(std::size_t link, std::optional<std::size_t> cell,
+                std::size_t day);
+
+  /// `count` consecutive readings of one link (a Fig. 1-style trace).
+  std::vector<double> trace(std::size_t link, std::optional<std::size_t> cell,
+                            std::size_t day, std::size_t count);
+
+  /// Average of `count` readings (a survey measurement at one location).
+  double averaged(std::size_t link, std::optional<std::size_t> cell,
+                  std::size_t day, std::size_t count);
+
+  /// Survey a whole column: M-vector of averaged readings with the target
+  /// at `cell`.
+  std::vector<double> survey_column(std::size_t cell, std::size_t day,
+                                    std::size_t samples_per_location);
+
+  /// Survey the full fingerprint matrix (the "traditional" whole-database
+  /// update): every cell, k samples per (link, cell).
+  linalg::Matrix survey_full(std::size_t day, std::size_t samples_per_location);
+
+  /// Measure the no-target baselines (M-vector, averaged).
+  std::vector<double> survey_baselines(std::size_t day, std::size_t samples);
+
+  /// One online measurement vector y (Eq. 25): all links read once (or
+  /// averaged over `samples`) with the target at `cell`.
+  std::vector<double> online_measurement(std::size_t cell, std::size_t day,
+                                         std::size_t samples = 1);
+
+ private:
+  const Testbed* testbed_;
+  rng::Ar1Process common_fading_;            ///< shared by all links
+  std::vector<rng::Ar1Process> fading_;      ///< per-link residual fading
+  std::vector<rng::OutlierMixture> outliers_;///< one per link
+};
+
+}  // namespace iup::sim

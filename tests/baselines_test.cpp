@@ -1,0 +1,174 @@
+// SVR substrate, the RASS comparator and the labor-cost model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/rass.hpp"
+#include "baselines/svr.hpp"
+#include "baselines/traditional.hpp"
+#include "eval/experiment.hpp"
+#include "test_util.hpp"
+
+namespace iup::baselines {
+namespace {
+
+TEST(Svr, FitsLinearFunction) {
+  rng::Rng rng(81);
+  const std::size_t n = 60;
+  linalg::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(-2.0, 2.0);
+    y[i] = 3.0 * x(i, 0) - 1.5 * x(i, 1) + 0.5;
+  }
+  SvrOptions opt;
+  opt.epsilon = 0.1;
+  opt.c = 50.0;
+  Svr svr(opt);
+  svr.fit(x, y);
+  double rmse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = svr.predict(x.row(i));
+    rmse += (p - y[i]) * (p - y[i]);
+  }
+  rmse = std::sqrt(rmse / static_cast<double>(n));
+  EXPECT_LT(rmse, 0.5);
+}
+
+TEST(Svr, FitsSineCurve) {
+  rng::Rng rng(82);
+  const std::size_t n = 80;
+  linalg::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-3.0, 3.0);
+    y[i] = std::sin(x(i, 0));
+  }
+  SvrOptions opt;
+  opt.epsilon = 0.05;
+  opt.c = 50.0;
+  opt.gamma = 2.0;
+  Svr svr(opt);
+  svr.fit(x, y);
+  double worst = 0.0;
+  for (double t = -2.5; t <= 2.5; t += 0.25) {
+    const std::vector<double> q = {t};
+    worst = std::max(worst, std::abs(svr.predict(q) - std::sin(t)));
+  }
+  EXPECT_LT(worst, 0.35);
+}
+
+TEST(Svr, EpsilonTubeSparsifiesSupport) {
+  // With a huge insensitive tube nothing is a support vector.
+  rng::Rng rng(83);
+  const std::size_t n = 40;
+  linalg::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    y[i] = 0.1 * x(i, 0);
+  }
+  SvrOptions wide;
+  wide.epsilon = 10.0;
+  Svr svr(wide);
+  svr.fit(x, y);
+  EXPECT_EQ(svr.support_vector_count(), 0u);
+}
+
+TEST(Svr, InvalidOptionsAndUsageThrow) {
+  SvrOptions bad;
+  bad.c = 0.0;
+  EXPECT_THROW(Svr{bad}, std::invalid_argument);
+  Svr untrained;
+  EXPECT_THROW((void)untrained.predict(std::vector<double>{1.0}),
+               std::logic_error);
+  Svr svr;
+  linalg::Matrix x(1, 1);
+  EXPECT_THROW(svr.fit(x, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Svr, PredictFeatureLengthMismatchThrows) {
+  rng::Rng rng(84);
+  linalg::Matrix x(10, 3);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t k = 0; k < 3; ++k) x(i, k) = rng.normal();
+    y[i] = rng.normal();
+  }
+  Svr svr;
+  svr.fit(x, y);
+  EXPECT_THROW((void)svr.predict(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Rass, LocalizesOnFreshDatabase) {
+  const auto& run = iup::test::office_run();
+  const Rass rass(run.ground_truth.at_day(0), run.testbed.deployment());
+  sim::Sampler sampler(run.testbed, "rass-test");
+  double total = 0.0;
+  const std::size_t step = 5;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < run.testbed.num_cells(); j += step) {
+    const auto y = sampler.online_measurement(j, 0, 5);
+    const auto p = rass.localize_position(y);
+    total += geom::distance(p, run.testbed.deployment().cell_center(j));
+    ++count;
+  }
+  EXPECT_LT(total / static_cast<double>(count), 3.0);
+}
+
+TEST(Rass, SnapsToGridForLocalizerInterface) {
+  const auto& run = iup::test::office_run();
+  const Rass rass(run.ground_truth.at_day(0), run.testbed.deployment());
+  const auto& x = run.ground_truth.at_day(0);
+  const auto est = rass.localize(x.col(30));
+  EXPECT_LT(est.cell, run.testbed.num_cells());
+}
+
+TEST(Rass, ReconstructedBeatsStaleAt45Days) {
+  // Fig. 23: RASS w/ rec. outperforms RASS w/o rec.
+  const auto& run = iup::test::office_run();
+  const std::size_t day = 45;
+  const auto stale_err = eval::localization_errors(
+      run, run.ground_truth.at_day(0), eval::LocalizerKind::kRass, day, 5);
+  const auto fresh_err = eval::localization_errors(
+      run, run.ground_truth.at_day(day), eval::LocalizerKind::kRass, day, 5);
+  EXPECT_LT(eval::mean_of(fresh_err), eval::mean_of(stale_err));
+}
+
+TEST(Labor, PaperHeadlineNumbers) {
+  // Sec. VI-C, office: traditional 50-sample survey = 46.9 min; iUpdater
+  // = 55 s; savings 97.9% (and 92.1% against a 5-sample traditional).
+  const double t_trad = traditional_update_time_s(94, 50);
+  EXPECT_NEAR(t_trad / 60.0, 46.9, 0.05);
+  const double t_iup = iupdater_update_time_s(8, 5);
+  EXPECT_NEAR(t_iup, 55.0, 1e-9);
+  EXPECT_NEAR(labor_saving_fraction(94, 50, 8, 5), 0.979, 0.0105);
+  EXPECT_NEAR(labor_saving_fraction(94, 5, 8, 5), 0.921, 0.0105);
+}
+
+TEST(Labor, SurveyTimeEdgeCases) {
+  EXPECT_DOUBLE_EQ(survey_time_s(0, 50), 0.0);
+  EXPECT_DOUBLE_EQ(survey_time_s(1, 10), 5.0);  // no move, 10 * 0.5 s
+  EXPECT_DOUBLE_EQ(labor_saving_fraction(0, 50, 8, 5), 0.0);
+}
+
+TEST(Labor, CustomParams) {
+  LaborParams p;
+  p.move_time_s = 10.0;
+  p.collect_interval_s = 1.0;
+  EXPECT_DOUBLE_EQ(survey_time_s(3, 2, p), 20.0 + 6.0);
+}
+
+TEST(Traditional, FullResurveyApproximatesTruth) {
+  const auto& run = iup::test::office_run();
+  sim::Sampler sampler(run.testbed, "trad");
+  const auto x = traditional_full_resurvey(sampler, 45, 50);
+  const auto err = eval::reconstruction_errors_all_db(
+      x, run.ground_truth.at_day(45));
+  EXPECT_LT(eval::mean_of(err), 1.5);
+}
+
+}  // namespace
+}  // namespace iup::baselines

@@ -1,0 +1,123 @@
+// T / G / H construction against the paper's worked examples.
+#include "core/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace iup::core {
+namespace {
+
+TEST(NeighborMatrix, TriDiagonalStructure) {
+  const auto t = neighbor_matrix(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t q = 0; q < 4; ++q) {
+      const bool adjacent = (p + 1 == q) || (q + 1 == p);
+      EXPECT_DOUBLE_EQ(t(p, q), adjacent ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(NeighborMatrix, SymmetricAndZeroDiagonal) {
+  const auto t = neighbor_matrix(7);
+  for (std::size_t p = 0; p < 7; ++p) {
+    EXPECT_DOUBLE_EQ(t(p, p), 0.0);
+    for (std::size_t q = 0; q < 7; ++q) {
+      EXPECT_DOUBLE_EQ(t(p, q), t(q, p));
+    }
+  }
+  EXPECT_THROW((void)neighbor_matrix(0), std::invalid_argument);
+}
+
+TEST(ContinuityMatrix, MatchesPaper3x3ExampleBeforeMidpointFix) {
+  // Eq. 14: for N/M = 3, the column-normalised matrix is
+  //   [  1   -0.5   0 ]
+  //   [ -1    1    -1 ]
+  //   [  0   -0.5   1 ]
+  const auto g = continuity_matrix_without_midpoint_fix(3);
+  const linalg::Matrix expected{{1.0, -0.5, 0.0},
+                                {-1.0, 1.0, -1.0},
+                                {0.0, -0.5, 1.0}};
+  iup::test::expect_matrix_near(g, expected, 1e-12);
+}
+
+TEST(ContinuityMatrix, MidpointFixOddSlots) {
+  // S = 3: 1-based midpoint p = (3-1)/2 + 1 = 2 (integer), so column 2
+  // (0-based 1) is redefined via Eq. 15: G(p,p)=0, G(p+1,p)=1, G(p-1,p)=-1.
+  const auto g = continuity_matrix(3);
+  EXPECT_DOUBLE_EQ(g(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(g(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), -1.0);
+  // Other columns keep the Eq. 14 values.
+  EXPECT_DOUBLE_EQ(g(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(g(2, 2), 1.0);
+}
+
+TEST(ContinuityMatrix, MidpointFixEvenSlots) {
+  // S = 4: p = (4-1)/2 + 1 = 2.5, so columns floor(p)=2 and ceil(p)=3
+  // (0-based 1 and 2) are redefined via Eq. 16.
+  const auto g = continuity_matrix(4);
+  for (std::size_t c : {std::size_t{1}, std::size_t{2}}) {
+    EXPECT_DOUBLE_EQ(g(c, c), 0.0);
+    EXPECT_DOUBLE_EQ(g(c + 1, c), 1.0);
+    EXPECT_DOUBLE_EQ(g(c - 1, c), -1.0);
+  }
+}
+
+TEST(ContinuityMatrix, ColumnsHaveZeroSumOutsideBoundary) {
+  // Interior non-midpoint columns average two neighbours: 1 - 0.5 - 0.5 = 0.
+  const auto g = continuity_matrix_without_midpoint_fix(8);
+  for (std::size_t q = 1; q + 1 < 8; ++q) {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < 8; ++p) sum += g(p, q);
+    EXPECT_NEAR(sum, 0.0, 1e-12) << "column " << q;
+  }
+}
+
+TEST(ContinuityMatrix, AnnihilatesLinearProfiles) {
+  // A perfectly linear |RSS| profile has zero continuity penalty away from
+  // the boundary and midpoint columns: X_D * G column q = x_q - avg of
+  // neighbours = 0.
+  const std::size_t s = 9;
+  const auto g = continuity_matrix_without_midpoint_fix(s);
+  linalg::Matrix xd(1, s);
+  for (std::size_t u = 0; u < s; ++u) {
+    xd(0, u) = -70.0 + 0.8 * static_cast<double>(u);
+  }
+  const auto penalty = xd * g;
+  for (std::size_t q = 1; q + 1 < s; ++q) {
+    EXPECT_NEAR(penalty(0, q), 0.0, 1e-10) << "column " << q;
+  }
+}
+
+TEST(ContinuityMatrix, TinySlotCounts) {
+  EXPECT_EQ(continuity_matrix(1).rows(), 1u);
+  EXPECT_EQ(continuity_matrix(2).rows(), 2u);
+}
+
+TEST(SimilarityMatrix, MatchesEq17) {
+  const auto h = similarity_matrix(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double expected = 0.0;
+      if (i == j) expected = 1.0;
+      if (i == j + 1) expected = -1.0;
+      EXPECT_DOUBLE_EQ(h(i, j), expected);
+    }
+  }
+  EXPECT_THROW((void)similarity_matrix(0), std::invalid_argument);
+}
+
+TEST(SimilarityMatrix, DifferencesAdjacentRows) {
+  const auto h = similarity_matrix(3);
+  const linalg::Matrix xd{{1.0, 2.0}, {1.5, 2.5}, {3.0, 4.0}};
+  const auto d = h * xd;
+  // Row 0 is the raw first row; rows i>0 are X_D(i,:) - X_D(i-1,:).
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d(2, 1), 1.5);
+}
+
+}  // namespace
+}  // namespace iup::core

@@ -1,0 +1,148 @@
+// Fingerprint containers, X_D extraction and the NLC/ALS statistics.
+#include "core/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.hpp"
+#include "test_util.hpp"
+
+namespace iup::core {
+namespace {
+
+TEST(BandLayout, IndexingRoundTrip) {
+  const BandLayout layout{4, 6};
+  EXPECT_EQ(layout.num_cells(), 24u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t u = 0; u < 6; ++u) {
+      const std::size_t j = layout.cell(i, u);
+      EXPECT_EQ(layout.band_of(j), i);
+      EXPECT_EQ(layout.slot_of(j), u);
+    }
+  }
+}
+
+TEST(BandLayout, OfMatrix) {
+  const auto layout = band_layout_of(linalg::Matrix(4, 24));
+  EXPECT_EQ(layout.links, 4u);
+  EXPECT_EQ(layout.slots, 6u);
+  EXPECT_THROW((void)band_layout_of(linalg::Matrix(4, 25)),
+               std::invalid_argument);
+  EXPECT_THROW((void)band_layout_of(linalg::Matrix{}), std::invalid_argument);
+}
+
+TEST(LargelyDecrease, ExtractMatchesDefinition2) {
+  // 2 links, 3 slots: d_{i,u} = x_{i, (i-1)*N/M + u} (1-based indices).
+  const linalg::Matrix x{{1, 2, 3, 4, 5, 6}, {7, 8, 9, 10, 11, 12}};
+  const BandLayout layout{2, 3};
+  const auto xd = extract_largely_decrease(x, layout);
+  EXPECT_EQ(xd, (linalg::Matrix{{1, 2, 3}, {10, 11, 12}}));
+}
+
+TEST(LargelyDecrease, InsertRoundTrip) {
+  rng::Rng rng(77);
+  const BandLayout layout{3, 4};
+  linalg::Matrix x = iup::test::random_matrix(3, 12, rng);
+  const auto xd = extract_largely_decrease(x, layout);
+  linalg::Matrix x2 = x;
+  insert_largely_decrease(x2, xd, layout);
+  EXPECT_EQ(x2, x);
+  // Inserting a modified X_D changes exactly the band entries.
+  linalg::Matrix xd2 = xd;
+  xd2(1, 2) += 5.0;
+  insert_largely_decrease(x2, xd2, layout);
+  EXPECT_DOUBLE_EQ(x2(1, layout.cell(1, 2)), x(1, layout.cell(1, 2)) + 5.0);
+}
+
+TEST(LargelyDecrease, ShapeMismatchThrows) {
+  const BandLayout layout{2, 3};
+  EXPECT_THROW(
+      (void)extract_largely_decrease(linalg::Matrix(2, 5), layout),
+      std::invalid_argument);
+  linalg::Matrix x(2, 6);
+  linalg::Matrix xd(2, 4);
+  EXPECT_THROW(insert_largely_decrease(x, xd, layout),
+               std::invalid_argument);
+}
+
+TEST(Nlc, PerfectlyContinuousRowsGiveZero) {
+  // Constant |X_D| rows: every entry equals its neighbour average.
+  linalg::Matrix xd(2, 5, -70.0);
+  xd(0, 0) = -60.0;  // one offset entry to create a nonzero spread
+  const auto t = neighbor_matrix(5);
+  const auto nlc = nlc_values(xd, t);
+  // Entries far from the perturbed one have NLC == 0.
+  EXPECT_NEAR(nlc(1, 2), 0.0, 1e-12);
+}
+
+TEST(Nlc, DetectsDiscontinuity) {
+  linalg::Matrix xd(1, 5, -70.0);
+  xd(0, 2) = -50.0;  // sharp bump
+  const auto nlc = nlc_values(xd, neighbor_matrix(5));
+  EXPECT_GT(nlc(0, 2), 0.9);  // bump deviates by ~the whole spread
+}
+
+TEST(Nlc, ShapeMismatchThrows) {
+  EXPECT_THROW((void)nlc_values(linalg::Matrix(2, 5), neighbor_matrix(4)),
+               std::invalid_argument);
+}
+
+TEST(Als, IdenticalRowsGiveZero) {
+  linalg::Matrix xd(3, 4, -65.0);
+  xd(0, 1) = -60.0;
+  xd(1, 1) = -60.0;
+  xd(2, 1) = -60.0;
+  const auto als = als_values(xd);
+  EXPECT_EQ(als.rows(), 2u);
+  for (double v : als.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Als, NormalizedToLargestDifference) {
+  linalg::Matrix xd(2, 3, -70.0);
+  xd(1, 0) = -60.0;  // difference 10 at (1,0): the max
+  xd(1, 1) = -65.0;  // difference 5
+  const auto als = als_values(xd);
+  EXPECT_DOUBLE_EQ(als(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(als(0, 1), 0.5);
+}
+
+TEST(Als, SingleLinkThrows) {
+  EXPECT_THROW((void)als_values(linalg::Matrix(1, 5)),
+               std::invalid_argument);
+}
+
+TEST(FractionBelow, Basics) {
+  const linalg::Matrix v{{0.1, 0.3, 0.5, 0.7}};
+  EXPECT_DOUBLE_EQ(fraction_below(v, 0.4), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(linalg::Matrix{}, 0.5), 0.0);
+}
+
+TEST(PaperObservations, OfficeNlcMostlyContinuous) {
+  // Validation 2 (Fig. 8): the probability of NLC < 0.2 is large at every
+  // time stamp.  Our simulated office reproduces the qualitative claim.
+  const auto& run = iup::test::office_run();
+  const auto layout = band_layout_of(run.ground_truth.at_day(0));
+  const auto t = neighbor_matrix(layout.slots);
+  for (std::size_t day : sim::paper_time_stamps()) {
+    const auto xd =
+        extract_largely_decrease(run.ground_truth.at_day(day), layout);
+    EXPECT_GT(fraction_below(nlc_values(xd, t), 0.2), 0.7)
+        << "day " << day;
+  }
+}
+
+TEST(PaperObservations, OfficeAlsMostlySimilar) {
+  // Validation 3 (Fig. 9): more than half of the adjacent-link differences
+  // are below 0.4 (normalised) at every stamp.
+  const auto& run = iup::test::office_run();
+  const auto layout = band_layout_of(run.ground_truth.at_day(0));
+  for (std::size_t day : sim::paper_time_stamps()) {
+    const auto xd =
+        extract_largely_decrease(run.ground_truth.at_day(day), layout);
+    EXPECT_GT(fraction_below(als_values(xd), 0.4), 0.35) << "day " << day;
+  }
+}
+
+}  // namespace
+}  // namespace iup::core

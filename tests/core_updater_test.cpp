@@ -1,0 +1,126 @@
+// The IUpdater pipeline class.
+#include "core/updater.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "test_util.hpp"
+
+namespace iup::core {
+namespace {
+
+TEST(Updater, ReferenceCountEqualsLinkCount) {
+  const auto& run = iup::test::office_run();
+  const IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
+  EXPECT_EQ(updater.reference_cells().size(), 8u);
+  EXPECT_EQ(updater.correlation().rows(), 8u);
+  EXPECT_EQ(updater.correlation().cols(), 96u);
+}
+
+TEST(Updater, ShapeMismatchThrows) {
+  const auto& run = iup::test::office_run();
+  EXPECT_THROW(IUpdater(run.ground_truth.at_day(0), linalg::Matrix(8, 90)),
+               std::invalid_argument);
+}
+
+TEST(Updater, ReconstructionBeatsStaleDatabase) {
+  const auto& run = iup::test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  const IUpdater updater(x0, run.b_mask);
+  for (std::size_t day : {std::size_t{15}, std::size_t{45}}) {
+    const auto inputs =
+        eval::collect_update_inputs(run, updater.reference_cells(), day);
+    const auto report = updater.reconstruct(inputs);
+    const auto fresh = eval::score_reconstruction(run, report.x_hat, day);
+    const auto stale = eval::score_reconstruction(run, x0, day);
+    EXPECT_LT(fresh.mean_db, 0.7 * stale.mean_db) << "day " << day;
+  }
+}
+
+TEST(Updater, ReconstructIsConst) {
+  const auto& run = iup::test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  IUpdater updater(x0, run.b_mask);
+  const auto inputs =
+      eval::collect_update_inputs(run, updater.reference_cells(), 45);
+  (void)updater.reconstruct(inputs);
+  // Database unchanged.
+  EXPECT_TRUE(updater.database().approx_equal(x0, 0.0));
+}
+
+TEST(Updater, UpdateCommitsDatabase) {
+  const auto& run = iup::test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  IUpdater updater(x0, run.b_mask);
+  const auto inputs =
+      eval::collect_update_inputs(run, updater.reference_cells(), 45);
+  const auto report = updater.update(inputs);
+  EXPECT_TRUE(updater.database().approx_equal(report.x_hat, 0.0));
+}
+
+TEST(Updater, SequentialUpdatesStayAccurate) {
+  // Update at 15 then 45 days with refresh_correlation: errors must stay
+  // in the same band as a one-shot update (the "latest updated" database
+  // remains a valid correlation source).
+  const auto& run = iup::test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  IUpdater sequential(x0, run.b_mask);
+  (void)sequential.update(
+      eval::collect_update_inputs(run, sequential.reference_cells(), 15));
+  const auto rep45 = sequential.update(
+      eval::collect_update_inputs(run, sequential.reference_cells(), 45));
+  const auto seq_score = eval::score_reconstruction(run, rep45.x_hat, 45);
+
+  const IUpdater oneshot(x0, run.b_mask);
+  const auto one_rep = oneshot.reconstruct(
+      eval::collect_update_inputs(run, oneshot.reference_cells(), 45));
+  const auto one_score = eval::score_reconstruction(run, one_rep.x_hat, 45);
+
+  EXPECT_LT(seq_score.mean_db, 2.0 * one_score.mean_db + 0.5);
+}
+
+TEST(Updater, SetReferenceCellsOverrides) {
+  const auto& run = iup::test::office_run();
+  IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
+  std::vector<std::size_t> cells = {0, 13, 26, 39, 52, 65, 78, 91, 95};
+  updater.set_reference_cells(cells);
+  EXPECT_EQ(updater.reference_cells(), cells);
+  EXPECT_EQ(updater.correlation().rows(), 9u);
+  const auto inputs = eval::collect_update_inputs(run, cells, 45);
+  const auto report = updater.reconstruct(inputs);
+  EXPECT_EQ(report.reference_count, 9u);
+}
+
+TEST(Updater, WrongReferenceMatrixWidthThrows) {
+  const auto& run = iup::test::office_run();
+  const IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
+  core::UpdateInputs inputs;
+  inputs.x_b = linalg::Matrix(8, 96);
+  inputs.x_r = linalg::Matrix(8, 3);  // needs 8 columns
+  EXPECT_THROW((void)updater.reconstruct(inputs), std::invalid_argument);
+}
+
+TEST(Updater, FewerReferencesDegradeReconstruction) {
+  // Fig. 14: dropping one of the selected reference locations hurts.
+  const auto& run = iup::test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  IUpdater full(x0, run.b_mask);
+  const auto full_cells = full.reference_cells();
+  const auto full_rep = full.reconstruct(
+      eval::collect_update_inputs(run, full_cells, 45));
+  const double full_err =
+      eval::score_reconstruction(run, full_rep.x_hat, 45).mean_db;
+
+  IUpdater fewer(x0, run.b_mask);
+  std::vector<std::size_t> seven(full_cells.begin(), full_cells.end() - 1);
+  fewer.set_reference_cells(seven);
+  const auto fewer_rep = fewer.reconstruct(
+      eval::collect_update_inputs(run, seven, 45));
+  const double fewer_err =
+      eval::score_reconstruction(run, fewer_rep.x_hat, 45).mean_db;
+
+  EXPECT_GT(fewer_err, full_err);
+}
+
+}  // namespace
+}  // namespace iup::core

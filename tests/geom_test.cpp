@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/fresnel.hpp"
+#include "geom/geometry.hpp"
+
+namespace iup::geom {
+namespace {
+
+TEST(Geometry, DotNormDistance) {
+  EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {4, 5}), 5.0);
+}
+
+TEST(Geometry, PointArithmetic) {
+  const Point2 p = Point2{1, 2} + Point2{3, 4};
+  EXPECT_EQ(p, (Point2{4, 6}));
+  EXPECT_EQ((Point2{4, 6} - Point2{1, 2}), (Point2{3, 4}));
+  EXPECT_EQ((2.0 * Point2{1, 2}), (Point2{2, 4}));
+}
+
+TEST(Geometry, SegmentLengthAndAt) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(s.length(), 10.0);
+  EXPECT_EQ(s.at(0.3), (Point2{3, 0}));
+}
+
+TEST(Geometry, ProjectionParameterClamped) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(projection_parameter(s, {5, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(projection_parameter(s, {-5, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(projection_parameter(s, {15, 0}), 1.0);
+}
+
+TEST(Geometry, DegenerateSegment) {
+  const Segment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(projection_parameter(s, {5, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance(s, {5, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(point_line_distance(s, {5, 2}), 3.0);
+}
+
+TEST(Geometry, PointSegmentDistance) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance(s, {5, 2}), 2.0);   // interior
+  EXPECT_DOUBLE_EQ(point_segment_distance(s, {-3, 4}), 5.0);  // beyond end
+}
+
+TEST(Geometry, PointLineVsSegmentDistance) {
+  const Segment s{{0, 0}, {10, 0}};
+  // Beyond the end point the line distance is smaller than the segment
+  // distance.
+  EXPECT_DOUBLE_EQ(point_line_distance(s, {15, 2}), 2.0);
+  EXPECT_GT(point_segment_distance(s, {15, 2}), 2.0);
+}
+
+TEST(Fresnel, RadiusLargestAtMidpoint) {
+  const double lambda = 0.125;
+  const double mid = fresnel_radius(lambda, 6.0, 6.0);
+  const double off = fresnel_radius(lambda, 2.0, 10.0);
+  EXPECT_GT(mid, off);
+  EXPECT_NEAR(mid, std::sqrt(lambda * 36.0 / 12.0), 1e-12);
+}
+
+TEST(Fresnel, RadiusZeroAtEnds) {
+  EXPECT_DOUBLE_EQ(fresnel_radius(0.125, 0.0, 12.0), 0.0);
+  EXPECT_DOUBLE_EQ(fresnel_radius(0.125, 0.0, 0.0), 0.0);
+}
+
+TEST(Fresnel, VSignFollowsClearance) {
+  EXPECT_GT(fresnel_v(0.2, 0.125, 6.0, 6.0), 0.0);
+  EXPECT_LT(fresnel_v(-0.2, 0.125, 6.0, 6.0), 0.0);
+  EXPECT_DOUBLE_EQ(fresnel_v(0.0, 0.125, 6.0, 6.0), 0.0);
+}
+
+TEST(Fresnel, VDegenerateDistances) {
+  EXPECT_GT(fresnel_v(0.1, 0.125, 0.0, 6.0), 5.0);
+  EXPECT_LT(fresnel_v(-0.1, 0.125, 0.0, 6.0), -5.0);
+}
+
+TEST(Fresnel, KnifeEdgeLossRegimes) {
+  EXPECT_DOUBLE_EQ(knife_edge_loss_db(-2.0), 0.0);      // clear path
+  EXPECT_NEAR(knife_edge_loss_db(0.0), 6.0, 0.1);       // grazing: ~6 dB
+  EXPECT_GT(knife_edge_loss_db(3.0), 15.0);             // deep shadow
+}
+
+TEST(Fresnel, KnifeEdgeLossMonotoneInV) {
+  double prev = -1.0;
+  for (double v = -1.5; v <= 5.0; v += 0.05) {
+    const double loss = knife_edge_loss_db(v);
+    EXPECT_GE(loss, prev - 1e-12) << "v = " << v;
+    prev = loss;
+  }
+}
+
+TEST(Fresnel, LossContinuousEverywhere) {
+  // ITU-R P.526 is smooth; in particular the clear-path cutoff at
+  // v = -0.78 must join continuously.
+  for (double v : {-0.78, 0.0, 1.0, 2.4}) {
+    const double lo = knife_edge_loss_db(v - 1e-9);
+    const double hi = knife_edge_loss_db(v + 1e-9);
+    EXPECT_NEAR(lo, hi, 0.01) << "v = " << v;
+  }
+  EXPECT_GE(knife_edge_loss_db(-0.5), 0.0);
+}
+
+TEST(Fresnel, ClearanceGeometry) {
+  const Segment link{{0, 0}, {12, 0}};
+  const auto fc = fresnel_clearance(link, {6.0, 0.5}, 0.125);
+  EXPECT_TRUE(fc.inside_segment);
+  EXPECT_DOUBLE_EQ(fc.clearance, 0.5);
+  EXPECT_DOUBLE_EQ(fc.d1, 6.0);
+  EXPECT_DOUBLE_EQ(fc.d2, 6.0);
+  EXPECT_NEAR(fc.zone_radius, std::sqrt(0.125 * 36.0 / 12.0), 1e-12);
+}
+
+TEST(Fresnel, ClearanceOutsideSegment) {
+  const Segment link{{0, 0}, {12, 0}};
+  const auto fc = fresnel_clearance(link, {-2.0, 0.0}, 0.125);
+  EXPECT_FALSE(fc.inside_segment);
+}
+
+}  // namespace
+}  // namespace iup::geom

@@ -1,0 +1,224 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace iup::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, DiagFromList) {
+  const Matrix d = Matrix::diag({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(Matrix, ToeplitzMatchesPaperH) {
+  // Eq. 17: center diagonal 1, first lower diagonal -1, rest 0.
+  const Matrix h = Matrix::toeplitz(-1.0, 1.0, 0.0, 4);
+  EXPECT_DOUBLE_EQ(h(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(h(3, 2), -1.0);
+  EXPECT_DOUBLE_EQ(h(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(h(2, 0), 0.0);
+}
+
+TEST(Matrix, FromColumnsAndRows) {
+  const Matrix c = Matrix::from_columns({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+  const Matrix r = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(r(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(r(1, 0), 3.0);
+  EXPECT_EQ(c, r.transpose());
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowColRoundTrip) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const auto row = m.row(1);
+  EXPECT_EQ(row, (std::vector<double>{4.0, 5.0, 6.0}));
+  const auto col = m.col(2);
+  EXPECT_EQ(col, (std::vector<double>{3.0, 6.0}));
+  m.set_row(0, std::vector<double>{7.0, 8.0, 9.0});
+  EXPECT_DOUBLE_EQ(m(0, 2), 9.0);
+  m.set_col(0, std::vector<double>{-1.0, -2.0});
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+}
+
+TEST(Matrix, SetRowLengthMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.set_row(0, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(m.set_col(0, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, Block) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_EQ(b, (Matrix{{5, 6}, {8, 9}}));
+  EXPECT_THROW(m.block(2, 2, 2, 2), std::out_of_range);
+}
+
+TEST(Matrix, SelectColumnsAndRows) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<std::size_t> idx = {2, 0};
+  EXPECT_EQ(m.select_columns(idx), (Matrix{{3, 1}, {6, 4}}));
+  const std::vector<std::size_t> ridx = {1};
+  EXPECT_EQ(m.select_rows(ridx), (Matrix{{4, 5, 6}}));
+  const std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(m.select_columns(bad), std::out_of_range);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  EXPECT_EQ(a + b, (Matrix{{6, 8}, {10, 12}}));
+  EXPECT_EQ(b - a, (Matrix{{4, 4}, {4, 4}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2, 4}, {6, 8}}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Matrix{{0.5, 1}, {1.5, 2}}));
+  EXPECT_EQ(-a, (Matrix{{-1, -2}, {-3, -4}}));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW((void)a.hadamard(b), std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix b{{7, 8}, {9, 10}, {11, 12}};
+  EXPECT_EQ(a * b, (Matrix{{58, 64}, {139, 154}}));
+  EXPECT_THROW((void)(a * a), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const std::vector<double> x = {1.0, -1.0};
+  const auto y = a * std::span<const double>(x);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, Hadamard) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{0, 1}, {1, 0}};
+  EXPECT_EQ(a.hadamard(b), (Matrix{{0, 2}, {3, 0}}));
+}
+
+TEST(Matrix, Reductions) {
+  const Matrix a{{-3, 1}, {2, 0}};
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 3.0);
+}
+
+TEST(Matrix, EmptyReductionsThrow) {
+  const Matrix m;
+  EXPECT_THROW((void)m.max(), std::logic_error);
+  EXPECT_THROW((void)m.min(), std::logic_error);
+}
+
+TEST(Matrix, ApproxEqual) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.0 + 1e-7, 2.0 - 1e-7}};
+  EXPECT_TRUE(a.approx_equal(b, 1e-6));
+  EXPECT_FALSE(a.approx_equal(b, 1e-8));
+  EXPECT_FALSE(a.approx_equal(Matrix(1, 3), 1.0));
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  rng::Rng rng(5);
+  const Matrix a = iup::test::random_matrix(5, 3, rng);
+  iup::test::expect_matrix_near(a.gram(), a.transpose() * a, 1e-12);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  rng::Rng rng(6);
+  const Matrix a = iup::test::random_matrix(4, 7, rng);
+  EXPECT_EQ(a.transpose().transpose(), a);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m(2, 2, 3.0);
+  m.fill(-1.0);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, -1.0);
+}
+
+// Parameterized shape sweep: (A*B)^T == B^T * A^T for random shapes.
+class MatrixShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatrixShapeSweep, ProductTransposeIdentity) {
+  const auto [m, k, n] = GetParam();
+  rng::Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  const Matrix a = iup::test::random_matrix(m, k, rng);
+  const Matrix b = iup::test::random_matrix(k, n, rng);
+  iup::test::expect_matrix_near((a * b).transpose(),
+                                b.transpose() * a.transpose(), 1e-12);
+}
+
+TEST_P(MatrixShapeSweep, DistributivityOverAddition) {
+  const auto [m, k, n] = GetParam();
+  rng::Rng rng(static_cast<std::uint64_t>(m * 91 + k * 7 + n));
+  const Matrix a = iup::test::random_matrix(m, k, rng);
+  const Matrix b = iup::test::random_matrix(k, n, rng);
+  const Matrix c = iup::test::random_matrix(k, n, rng);
+  iup::test::expect_matrix_near(a * (b + c), a * b + a * c, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatrixShapeSweep,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{2, 3, 4},
+                                           std::tuple{5, 2, 7},
+                                           std::tuple{8, 8, 8},
+                                           std::tuple{3, 9, 2},
+                                           std::tuple{10, 4, 6}));
+
+}  // namespace
+}  // namespace iup::linalg

@@ -1,0 +1,68 @@
+#include "linalg/rref.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/svd.hpp"
+#include "test_util.hpp"
+
+namespace iup::linalg {
+namespace {
+
+TEST(Rref, IdentityIsItsOwnRref) {
+  const auto r = rref(Matrix::identity(3));
+  EXPECT_EQ(r.r, Matrix::identity(3));
+  EXPECT_EQ(r.pivot_cols, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Rref, KnownDependentColumns) {
+  // Column 1 = 2 * column 0; column 2 independent.
+  const Matrix a{{1.0, 2.0, 0.0}, {2.0, 4.0, 1.0}};
+  const auto p = pivot_columns(a);
+  EXPECT_EQ(p, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Rref, ZeroMatrixHasNoPivots) {
+  EXPECT_TRUE(pivot_columns(Matrix(3, 4)).empty());
+}
+
+TEST(Rref, PivotCountEqualsRank) {
+  rng::Rng rng(21);
+  for (std::size_t rank = 1; rank <= 4; ++rank) {
+    const Matrix a = iup::test::random_low_rank(5, 9, rank, rng);
+    EXPECT_EQ(pivot_columns(a, 1e-8).size(), rank) << "rank " << rank;
+    EXPECT_EQ(pivot_columns(a, 1e-8).size(), numerical_rank(a, 1e-8));
+  }
+}
+
+TEST(Rref, PivotColumnsAreIndependent) {
+  rng::Rng rng(22);
+  const Matrix a = iup::test::random_low_rank(6, 12, 3, rng);
+  const auto p = pivot_columns(a, 1e-8);
+  const Matrix sub = a.select_columns(p);
+  EXPECT_EQ(numerical_rank(sub, 1e-8), p.size());
+}
+
+TEST(Rref, LeadingOnesAndZeroedPivotColumns) {
+  rng::Rng rng(23);
+  const Matrix a = iup::test::random_matrix(4, 6, rng);
+  const auto result = rref(a);
+  for (std::size_t k = 0; k < result.pivot_cols.size(); ++k) {
+    const std::size_t c = result.pivot_cols[k];
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      EXPECT_DOUBLE_EQ(result.r(i, c), i == k ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Rref, ToleranceControlsNoiseRank) {
+  // Rank-1 matrix plus tiny noise: strict tolerance sees full rank, loose
+  // tolerance recovers the structural rank.
+  rng::Rng rng(24);
+  Matrix a = iup::test::random_low_rank(4, 8, 1, rng);
+  for (double& v : a.data()) v += rng.normal(0.0, 1e-9);
+  EXPECT_EQ(pivot_columns(a, 1e-13).size(), 4u);
+  EXPECT_EQ(pivot_columns(a, 1e-6).size(), 1u);
+}
+
+}  // namespace
+}  // namespace iup::linalg

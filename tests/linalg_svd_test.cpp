@@ -1,0 +1,139 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace iup::linalg {
+namespace {
+
+using iup::test::expect_matrix_near;
+using iup::test::random_low_rank;
+using iup::test::random_matrix;
+
+TEST(Svd, DiagonalMatrix) {
+  const Matrix a = Matrix::diag({3.0, 1.0, 2.0});
+  const auto d = svd(a);
+  ASSERT_EQ(d.sigma.size(), 3u);
+  EXPECT_NEAR(d.sigma[0], 3.0, 1e-12);
+  EXPECT_NEAR(d.sigma[1], 2.0, 1e-12);
+  EXPECT_NEAR(d.sigma[2], 1.0, 1e-12);
+}
+
+TEST(Svd, KnownSingularValues) {
+  // A = [[3, 0], [4, 5]] has singular values sqrt(45) and sqrt(5).
+  const Matrix a{{3.0, 0.0}, {4.0, 5.0}};
+  const auto s = singular_values(a);
+  EXPECT_NEAR(s[0], std::sqrt(45.0), 1e-10);
+  EXPECT_NEAR(s[1], std::sqrt(5.0), 1e-10);
+}
+
+TEST(Svd, ReconstructionTall) {
+  rng::Rng rng(42);
+  const Matrix a = random_matrix(8, 5, rng);
+  const auto d = svd(a);
+  expect_matrix_near(d.reconstruct(), a, 1e-10);
+}
+
+TEST(Svd, ReconstructionWide) {
+  rng::Rng rng(43);
+  const Matrix a = random_matrix(4, 9, rng);
+  const auto d = svd(a);
+  expect_matrix_near(d.reconstruct(), a, 1e-10);
+}
+
+TEST(Svd, OrthonormalFactors) {
+  rng::Rng rng(44);
+  const Matrix a = random_matrix(6, 4, rng);
+  const auto d = svd(a);
+  expect_matrix_near(d.u.gram(), Matrix::identity(4), 1e-10);
+  expect_matrix_near(d.v.gram(), Matrix::identity(4), 1e-10);
+}
+
+TEST(Svd, SigmaDescendingNonNegative) {
+  rng::Rng rng(45);
+  const Matrix a = random_matrix(7, 7, rng);
+  const auto s = singular_values(a);
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    EXPECT_GE(s[i], s[i + 1]);
+  }
+  EXPECT_GE(s.back(), 0.0);
+}
+
+TEST(Svd, RankTruncationIsBestApproximation) {
+  rng::Rng rng(46);
+  const Matrix a = random_low_rank(8, 12, 3, rng);
+  const auto d = svd(a);
+  // Rank-3 truncation reconstructs a rank-3 matrix exactly.
+  expect_matrix_near(d.reconstruct_rank(3), a, 1e-9);
+  // Rank-2 truncation misses exactly sigma_3 in Frobenius norm.
+  Matrix diff = d.reconstruct_rank(2);
+  diff -= a;
+  EXPECT_NEAR(frobenius_norm(diff), d.sigma[2], 1e-8);
+}
+
+TEST(Svd, NumericalRankExact) {
+  rng::Rng rng(47);
+  const Matrix a = random_low_rank(6, 20, 4, rng);
+  EXPECT_EQ(numerical_rank(a), 4u);
+}
+
+TEST(Svd, NumericalRankZeroMatrix) {
+  EXPECT_EQ(numerical_rank(Matrix(3, 3)), 0u);
+}
+
+TEST(Svd, EmptyThrows) { EXPECT_THROW((void)svd(Matrix{}), std::invalid_argument); }
+
+TEST(Svd, SingularValueThresholdShrinks) {
+  const Matrix a = Matrix::diag({5.0, 2.0, 0.5});
+  const Matrix t = singular_value_threshold(a, 1.0);
+  const auto s = singular_values(t);
+  EXPECT_NEAR(s[0], 4.0, 1e-10);
+  EXPECT_NEAR(s[1], 1.0, 1e-10);
+  EXPECT_NEAR(s[2], 0.0, 1e-10);
+}
+
+TEST(Svd, ThresholdAboveSpectrumGivesZero) {
+  rng::Rng rng(48);
+  const Matrix a = random_matrix(4, 4, rng);
+  const Matrix t = singular_value_threshold(a, 1e6);
+  EXPECT_LT(frobenius_norm(t), 1e-9);
+}
+
+TEST(Svd, PaperObservation1OfficeRankEqualsLinkCount) {
+  // Fig. 5 / Observation 1: the office fingerprint matrix is full row rank
+  // (r = M = 8) but the leading singular value carries most of the energy.
+  const auto& x = iup::test::office_run().ground_truth.at_day(0);
+  EXPECT_EQ(numerical_rank(x, 1e-6), x.rows());
+  const auto s = singular_values(x);
+  double total = 0.0;
+  for (double v : s) total += v;
+  EXPECT_GT(s[0] / total, 0.8);  // dominant first singular value
+  EXPECT_GT(s[1], 0.0);          // ...but residual energy remains (approx.
+                                 // low rank, not exactly low rank)
+}
+
+class SvdShapeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapeSweep, ReconstructsAndIsOrdered) {
+  const auto [m, n] = GetParam();
+  rng::Rng rng(static_cast<std::uint64_t>(1000 + m * 31 + n));
+  const Matrix a = random_matrix(m, n, rng);
+  const auto d = svd(a);
+  expect_matrix_near(d.reconstruct(), a, 1e-9);
+  for (std::size_t i = 0; i + 1 < d.sigma.size(); ++i) {
+    EXPECT_GE(d.sigma[i], d.sigma[i + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeSweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 8},
+                                           std::pair{8, 1}, std::pair{2, 2},
+                                           std::pair{5, 10}, std::pair{10, 5},
+                                           std::pair{8, 96}, std::pair{16, 16}));
+
+}  // namespace
+}  // namespace iup::linalg

@@ -1,0 +1,83 @@
+#include "linalg/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iup::linalg {
+namespace {
+
+TEST(Vec, Dot) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+}
+
+TEST(Vec, DotLengthMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)dot(a, b), std::invalid_argument);
+}
+
+TEST(Vec, Norms) {
+  const std::vector<double> x = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(x), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+}
+
+TEST(Vec, Axpy) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  std::vector<double> bad = {1.0};
+  EXPECT_THROW(axpy(1.0, x, bad), std::invalid_argument);
+}
+
+TEST(Vec, AddSubScale) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {3.0, 5.0};
+  EXPECT_EQ(add(a, b), (std::vector<double>{4.0, 7.0}));
+  EXPECT_EQ(sub(b, a), (std::vector<double>{2.0, 3.0}));
+  EXPECT_EQ(scale(-2.0, a), (std::vector<double>{-2.0, -4.0}));
+}
+
+TEST(Vec, Normalized) {
+  const std::vector<double> x = {3.0, 4.0};
+  const auto u = normalized(x);
+  EXPECT_NEAR(norm2(u), 1.0, 1e-15);
+  EXPECT_NEAR(u[0], 0.6, 1e-15);
+  // Zero vector passes through unchanged.
+  const std::vector<double> z = {0.0, 0.0};
+  EXPECT_EQ(normalized(z), z);
+}
+
+TEST(Vec, MeanAndStdev) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_NEAR(stdev(x), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Vec, Argmax) {
+  const std::vector<double> x = {1.0, -5.0, 3.0};
+  EXPECT_EQ(argmax_abs(x), 1u);
+  EXPECT_EQ(argmax(x), 2u);
+  EXPECT_EQ(argmin(x), 1u);
+}
+
+TEST(Vec, Linspace) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_THROW((void)linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iup::linalg

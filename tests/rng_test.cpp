@@ -1,0 +1,193 @@
+#include "rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/processes.hpp"
+
+namespace iup::rng {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng r(8);
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += r.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalMeanStddev) {
+  Rng r(10);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += r.normal(5.0, 2.0);
+  EXPECT_NEAR(acc / n, 5.0, 0.1);
+}
+
+TEST(Rng, UniformIndexBoundsAndThrow) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_index(7), 7u);
+  EXPECT_THROW((void)r.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng r(12);
+  auto p = r.permutation(50);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(13);
+  auto s = r.sample_without_replacement(20, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+  EXPECT_THROW((void)r.sample_without_replacement(3, 4),
+               std::invalid_argument);
+}
+
+TEST(Rng, ForkIsDeterministicAndDecorrelated) {
+  const Rng base(99);
+  Rng a1 = base.fork("alpha");
+  Rng a2 = base.fork("alpha");
+  Rng b = base.fork("beta");
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  Rng a3 = base.fork("alpha");
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkByKeyIndependentStreams) {
+  const Rng base(100);
+  Rng k0 = base.fork(std::uint64_t{0});
+  Rng k1 = base.fork(std::uint64_t{1});
+  // Correlation check: the streams should not be identical.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (k0.next_u64() == k1.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Ar1, StationaryMoments) {
+  Ar1Process p(0.9, 2.0, Rng(14));
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = p.step();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.15);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 2.0, 0.15);
+}
+
+TEST(Ar1, LagOneCorrelationMatchesPhi) {
+  const double phi = 0.8;
+  Ar1Process p(phi, 1.0, Rng(15));
+  double prev = p.step();
+  double num = 0.0, den = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = p.step();
+    num += prev * x;
+    den += prev * prev;
+    prev = x;
+  }
+  EXPECT_NEAR(num / den, phi, 0.02);
+}
+
+TEST(Ar1, InvalidPhiThrows) {
+  EXPECT_THROW(Ar1Process(1.0, 1.0, Rng(0)), std::invalid_argument);
+  EXPECT_THROW(Ar1Process(-0.1, 1.0, Rng(0)), std::invalid_argument);
+}
+
+TEST(Ar1, TraceLength) {
+  Ar1Process p(0.5, 1.0, Rng(16));
+  EXPECT_EQ(p.trace(37).size(), 37u);
+}
+
+TEST(OutlierMixture, ZeroCoreGivesOnlyOutliers) {
+  OutlierMixture m(0.0, 1.0, 3.0, Rng(17));
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = m.sample();
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 3.0, 0.1);
+}
+
+TEST(OutlierMixture, RareOutliersInflateTails) {
+  OutlierMixture m(1.0, 0.05, 8.0, Rng(18));
+  int big = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(m.sample()) > 4.0) ++big;
+  }
+  // Pure N(0,1) would give ~0.006% beyond 4; the mixture gives ~3%.
+  EXPECT_GT(big, n / 200);
+  EXPECT_THROW(OutlierMixture(1.0, 1.5, 1.0, Rng(0)), std::invalid_argument);
+}
+
+TEST(RandomWalkDrift, StaysWithinBounds) {
+  RandomWalkDrift w(1.0, 4.0, Rng(19));
+  for (int i = 0; i < 2000; ++i) {
+    const double v = w.advance(1);
+    EXPECT_LE(std::abs(v), 4.0 + 1e-9);
+  }
+  EXPECT_THROW(RandomWalkDrift(1.0, 0.0, Rng(0)), std::invalid_argument);
+}
+
+TEST(RandomWalkDrift, SpreadGrowsWithSteps) {
+  double short_acc = 0.0, long_acc = 0.0;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    RandomWalkDrift w1(0.5, 50.0, Rng(1000 + s));
+    short_acc += std::abs(w1.advance(4));
+    RandomWalkDrift w2(0.5, 50.0, Rng(1000 + s));
+    long_acc += std::abs(w2.advance(64));
+  }
+  EXPECT_GT(long_acc, 2.0 * short_acc);  // ~sqrt(16) = 4x in expectation
+}
+
+}  // namespace
+}  // namespace iup::rng

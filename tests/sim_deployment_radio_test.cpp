@@ -1,0 +1,145 @@
+// Deployment geometry and radio-model physics.
+#include <gtest/gtest.h>
+
+#include "sim/deployment.hpp"
+#include "sim/radio_model.hpp"
+
+namespace iup::sim {
+namespace {
+
+DeploymentConfig small_config() {
+  DeploymentConfig c;
+  c.num_links = 4;
+  c.slots_per_link = 6;
+  c.cell_spacing_m = 0.6;
+  c.area_width_m = 10.0;
+  c.area_height_m = 8.0;
+  return c;
+}
+
+TEST(Deployment, CountsAndIndexing) {
+  const Deployment d(small_config());
+  EXPECT_EQ(d.num_links(), 4u);
+  EXPECT_EQ(d.slots_per_link(), 6u);
+  EXPECT_EQ(d.num_cells(), 24u);
+  EXPECT_EQ(d.band_of(0), 0u);
+  EXPECT_EQ(d.band_of(6), 1u);
+  EXPECT_EQ(d.slot_of(7), 1u);
+  EXPECT_EQ(d.cell_index(2, 3), 15u);
+  EXPECT_EQ(d.band_of(d.cell_index(3, 5)), 3u);
+  EXPECT_EQ(d.slot_of(d.cell_index(3, 5)), 5u);
+}
+
+TEST(Deployment, LinksAreEvenlySpacedAndHorizontal) {
+  const Deployment d(small_config());
+  EXPECT_DOUBLE_EQ(d.link_spacing(), 8.0 / 5.0);
+  for (std::size_t i = 0; i < d.num_links(); ++i) {
+    EXPECT_DOUBLE_EQ(d.link(i).a.y, d.link(i).b.y);
+    EXPECT_DOUBLE_EQ(d.link(i).a.y, d.link_spacing() * (i + 1));
+    EXPECT_DOUBLE_EQ(d.link(i).length(), 10.0);
+  }
+}
+
+TEST(Deployment, BandCellsSitOnTheirLink) {
+  const Deployment d(small_config());
+  for (std::size_t j = 0; j < d.num_cells(); ++j) {
+    const auto band = d.band_of(j);
+    EXPECT_DOUBLE_EQ(d.cell_center(j).y, d.link(band).a.y);
+  }
+}
+
+TEST(Deployment, CellSpacingAlongBand) {
+  const Deployment d(small_config());
+  const auto a = d.cell_center(d.cell_index(1, 0));
+  const auto b = d.cell_center(d.cell_index(1, 1));
+  EXPECT_NEAR(geom::distance(a, b), 0.6, 1e-12);
+}
+
+TEST(Deployment, NearestCellIdentity) {
+  const Deployment d(small_config());
+  for (std::size_t j = 0; j < d.num_cells(); ++j) {
+    EXPECT_EQ(d.nearest_cell(d.cell_center(j)), j);
+  }
+}
+
+TEST(Deployment, InvalidConfigThrows) {
+  DeploymentConfig c = small_config();
+  c.num_links = 0;
+  EXPECT_THROW(Deployment{c}, std::invalid_argument);
+  c = small_config();
+  c.cell_spacing_m = -1.0;
+  EXPECT_THROW(Deployment{c}, std::invalid_argument);
+  c = small_config();
+  c.slots_per_link = 100;  // 99 * 0.6 m does not fit 10 m
+  EXPECT_THROW(Deployment{c}, std::invalid_argument);
+  c = small_config();
+  c.band_offset_frac = 1.5;
+  EXPECT_THROW(Deployment{c}, std::invalid_argument);
+}
+
+TEST(Deployment, BandOffsetMovesCells) {
+  DeploymentConfig c = small_config();
+  c.band_offset_frac = 0.0;
+  const Deployment left(c);
+  c.band_offset_frac = 1.0;
+  const Deployment right(c);
+  EXPECT_LT(left.cell_center(0).x, right.cell_center(0).x);
+}
+
+TEST(RadioModel, PathLossIncreasesWithDistance) {
+  RadioParams p;
+  p.path_loss_exponent = 3.0;
+  const RadioModel m(p);
+  EXPECT_DOUBLE_EQ(m.path_loss_db(1.0), p.pl0_db);
+  EXPECT_NEAR(m.path_loss_db(10.0), p.pl0_db + 30.0, 1e-12);
+  EXPECT_LT(m.baseline_rss_dbm(10.0), m.baseline_rss_dbm(5.0));
+  // Below the reference distance the loss saturates.
+  EXPECT_DOUBLE_EQ(m.path_loss_db(0.1), p.pl0_db);
+}
+
+TEST(RadioModel, TargetLossRegimes) {
+  const RadioModel m(RadioParams{});
+  const geom::Segment link{{0, 0}, {12, 0}};
+  const double on_path = m.target_loss_db(link, {6.0, 0.0});
+  const double in_ffz = m.target_loss_db(link, {6.0, 0.5});
+  const double outside = m.target_loss_db(link, {6.0, 3.0});
+  EXPECT_GT(on_path, 6.0);     // blocking: large decrease
+  EXPECT_GT(in_ffz, 0.0);      // inside FFZ: small decrease
+  EXPECT_LT(in_ffz, on_path);
+  EXPECT_NEAR(outside, 0.0, 1e-9);  // outside FFZ: no decrease
+}
+
+TEST(RadioModel, BlockingLossLargerNearTransceivers) {
+  // Sec. IV-C-1: with transceivers at ~1 m height, the RSS decrease is
+  // larger near the transceivers and smaller at the midpoint.
+  const RadioModel m(RadioParams{});
+  const geom::Segment link{{0, 0}, {12, 0}};
+  const double near_tx = m.target_loss_db(link, {1.0, 0.0});
+  const double mid = m.target_loss_db(link, {6.0, 0.0});
+  EXPECT_GT(near_tx, mid);
+}
+
+TEST(RadioModel, NoLossOutsideSegment) {
+  const RadioModel m(RadioParams{});
+  const geom::Segment link{{0, 0}, {12, 0}};
+  EXPECT_DOUBLE_EQ(m.target_loss_db(link, {-1.0, 0.0}), 0.0);
+}
+
+TEST(RadioModel, InsideFfzPredicate) {
+  const RadioModel m(RadioParams{});
+  const geom::Segment link{{0, 0}, {12, 0}};
+  EXPECT_TRUE(m.inside_ffz(link, {6.0, 0.0}));
+  EXPECT_TRUE(m.inside_ffz(link, {6.0, 0.6}));
+  EXPECT_FALSE(m.inside_ffz(link, {6.0, 3.0}));
+  EXPECT_FALSE(m.inside_ffz(link, {-1.0, 0.0}));
+}
+
+TEST(RadioModel, ClampRss) {
+  const RadioModel m(RadioParams{});
+  EXPECT_DOUBLE_EQ(m.clamp_rss(-200.0), -95.0);
+  EXPECT_DOUBLE_EQ(m.clamp_rss(0.0), -20.0);
+  EXPECT_DOUBLE_EQ(m.clamp_rss(-60.0), -60.0);
+}
+
+}  // namespace
+}  // namespace iup::sim

@@ -1,0 +1,235 @@
+// Testbed, drift, sampler and fingerprint-builder behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/svd.hpp"
+#include "sim/fingerprint_builder.hpp"
+#include "sim/sampler.hpp"
+#include "sim/testbeds.hpp"
+#include "test_util.hpp"
+
+namespace iup::sim {
+namespace {
+
+TEST(Testbed, PaperRoomDimensions) {
+  const Testbed office = make_office_testbed();
+  EXPECT_EQ(office.num_links(), 8u);
+  EXPECT_EQ(office.num_cells(), 96u);  // paper: 94 effective grids
+  const Testbed library = make_library_testbed();
+  EXPECT_EQ(library.num_links(), 6u);
+  EXPECT_EQ(library.num_cells(), 72u);  // matches the paper exactly
+  const Testbed hall = make_hall_testbed();
+  EXPECT_EQ(hall.num_links(), 8u);
+  EXPECT_EQ(hall.num_cells(), 120u);  // matches the paper exactly
+}
+
+TEST(Testbed, PaperTimeStamps) {
+  EXPECT_EQ(paper_time_stamps(),
+            (std::vector<std::size_t>{0, 3, 5, 15, 45, 90}));
+  EXPECT_EQ(paper_update_stamps(),
+            (std::vector<std::size_t>{3, 5, 15, 45, 90}));
+}
+
+TEST(Testbed, DeterministicForSameSeed) {
+  const Testbed a = make_office_testbed(7);
+  const Testbed b = make_office_testbed(7);
+  EXPECT_TRUE(a.mean_fingerprint(45).approx_equal(b.mean_fingerprint(45),
+                                                  1e-12));
+}
+
+TEST(Testbed, DifferentSeedsDiffer) {
+  const Testbed a = make_office_testbed(7);
+  const Testbed b = make_office_testbed(8);
+  EXPECT_FALSE(
+      a.mean_fingerprint(0).approx_equal(b.mean_fingerprint(0), 0.1));
+}
+
+TEST(Testbed, ThreeRegimeStructure) {
+  const Testbed tb = make_office_testbed();
+  // Target on its own band: large decrease vs baseline.
+  const std::size_t j_own = tb.deployment().cell_index(3, 5);
+  const double own_change =
+      tb.mean_baseline_rss(3, 0) - tb.mean_rss(3, j_own, 0);
+  EXPECT_GT(own_change, 4.0);
+  // Far link (band 0 vs link 7): negligible change.
+  const double far_change =
+      std::abs(tb.mean_baseline_rss(7, 0) - tb.mean_rss(7, 0, 0));
+  EXPECT_LT(far_change, 1.5);
+}
+
+TEST(Testbed, RssInPhysicalRange) {
+  const Testbed tb = make_library_testbed();
+  const auto x = tb.mean_fingerprint(45);
+  for (double v : x.data()) {
+    EXPECT_GE(v, -95.0);
+    EXPECT_LE(v, -20.0);
+  }
+}
+
+TEST(Testbed, FingerprintApproximatelyLowRank) {
+  // Observation 1 on the simulated office: dominant first singular value,
+  // full numerical row rank.
+  const Testbed tb = make_office_testbed();
+  const auto s = linalg::singular_values(tb.mean_fingerprint(0));
+  ASSERT_EQ(s.size(), 8u);
+  double total = 0.0;
+  for (double v : s) total += v;
+  EXPECT_GT(s[0] / total, 0.8);
+  EXPECT_GT(s[7], 0.0);
+}
+
+TEST(Testbed, DriftGrowsOverTime) {
+  const Testbed tb = make_office_testbed();
+  const auto x0 = tb.mean_fingerprint(0);
+  double d5 = 0.0, d90 = 0.0;
+  const auto x5 = tb.mean_fingerprint(5);
+  const auto x90 = tb.mean_fingerprint(90);
+  for (std::size_t k = 0; k < x0.size(); ++k) {
+    d5 += std::abs(x5.data()[k] - x0.data()[k]);
+    d90 += std::abs(x90.data()[k] - x0.data()[k]);
+  }
+  EXPECT_GT(d90, d5);
+  EXPECT_GT(d5 / static_cast<double>(x0.size()), 0.2);  // visible shift
+}
+
+TEST(Testbed, MeanRssAtAgreesWithCellFingerprint) {
+  const Testbed tb = make_hall_testbed();
+  const std::size_t j = tb.deployment().cell_index(2, 7);
+  const auto p = tb.deployment().cell_center(j);
+  for (std::size_t i = 0; i < tb.num_links(); ++i) {
+    EXPECT_NEAR(tb.mean_rss_at(i, p, 0), tb.mean_rss(i, j, 0), 2.0);
+  }
+}
+
+TEST(Drift, ZeroAtDayZero) {
+  const Testbed tb = make_office_testbed();
+  EXPECT_DOUBLE_EQ(tb.drift().global_offset(0), 0.0);
+  for (std::size_t i = 0; i < tb.num_links(); ++i) {
+    EXPECT_DOUBLE_EQ(tb.drift().link_offset(i, 0), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(tb.drift().morph_angle(0), 0.0);
+  EXPECT_DOUBLE_EQ(tb.drift().aging_noise(0, 0, 0), 0.0);
+}
+
+TEST(Drift, BeyondHorizonThrows) {
+  const Testbed tb = make_office_testbed();
+  EXPECT_THROW((void)tb.drift().global_offset(100000), std::out_of_range);
+}
+
+TEST(Drift, MorphAngleGrowsDiffusively) {
+  const Testbed tb = make_office_testbed();
+  const double a4 = tb.drift().morph_angle(4);
+  const double a16 = tb.drift().morph_angle(16);
+  EXPECT_NEAR(a16 / a4, 2.0, 1e-9);  // sqrt(16)/sqrt(4)
+}
+
+TEST(Drift, AgingNoiseDeterministic) {
+  const Testbed tb = make_office_testbed();
+  EXPECT_DOUBLE_EQ(tb.drift().aging_noise(2, 30, 45),
+                   tb.drift().aging_noise(2, 30, 45));
+  EXPECT_NE(tb.drift().aging_noise(2, 30, 45),
+            tb.drift().aging_noise(2, 31, 45));
+}
+
+TEST(Sampler, TraceLengthAndVariation) {
+  const Testbed tb = make_office_testbed();
+  Sampler s(tb, "test");
+  const auto trace = s.trace(0, std::nullopt, 0, 200);
+  ASSERT_EQ(trace.size(), 200u);
+  double lo = trace[0], hi = trace[0];
+  for (double v : trace) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // Fig. 1: short-term swings of several dB.
+  EXPECT_GT(hi - lo, 2.0);
+  EXPECT_LT(hi - lo, 25.0);
+}
+
+TEST(Sampler, AveragingConvergesTowardMean) {
+  const Testbed tb = make_office_testbed();
+  Sampler s(tb, "avg");
+  const double mean = tb.mean_baseline_rss(1, 0);
+  const double avg = s.averaged(1, std::nullopt, 0, 400);
+  EXPECT_NEAR(avg, mean, 1.0);
+}
+
+TEST(Sampler, StreamsAreIndependentButReproducible) {
+  const Testbed tb = make_office_testbed();
+  Sampler a1(tb, "s1");
+  Sampler a2(tb, "s1");
+  Sampler b(tb, "s2");
+  const double va1 = a1.sample(0, std::nullopt, 0);
+  const double va2 = a2.sample(0, std::nullopt, 0);
+  const double vb = b.sample(0, std::nullopt, 0);
+  EXPECT_DOUBLE_EQ(va1, va2);
+  EXPECT_NE(va1, vb);
+}
+
+TEST(Sampler, OnlineMeasurementHasOneEntryPerLink) {
+  const Testbed tb = make_library_testbed();
+  Sampler s(tb, "online");
+  EXPECT_EQ(s.online_measurement(10, 0).size(), tb.num_links());
+}
+
+TEST(FingerprintBuilder, GroundTruthSetLookup) {
+  const auto& run = iup::test::office_run();
+  EXPECT_EQ(run.ground_truth.days.size(), 6u);
+  EXPECT_EQ(run.ground_truth.at_day(45).rows(), 8u);
+  EXPECT_EQ(run.ground_truth.baselines_at_day(45).size(), 8u);
+  EXPECT_THROW((void)run.ground_truth.at_day(17), std::out_of_range);
+}
+
+TEST(FingerprintBuilder, MaskExcludesEveryBandEntry) {
+  const auto& run = iup::test::office_run();
+  const auto& dep = run.testbed.deployment();
+  for (std::size_t j = 0; j < dep.num_cells(); ++j) {
+    EXPECT_DOUBLE_EQ(run.b_mask(dep.band_of(j), j), 0.0)
+        << "band entry (" << dep.band_of(j) << ", " << j << ")";
+  }
+}
+
+TEST(FingerprintBuilder, MaskMostlyOnes) {
+  // Fig. 4: the large/small-decrease entries are a minority; most of the
+  // matrix can be refreshed without labor.
+  const auto& run = iup::test::office_run();
+  const double ones = run.b_mask.sum();
+  const double frac = ones / static_cast<double>(run.b_mask.size());
+  EXPECT_GT(frac, 0.5);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(FingerprintBuilder, NoDecreaseMatrixZeroOutsideMask) {
+  const auto& run = iup::test::office_run();
+  Sampler s(run.testbed, "xb");
+  const auto xb = measure_no_decrease_matrix(s, run.b_mask, 45);
+  for (std::size_t i = 0; i < xb.rows(); ++i) {
+    for (std::size_t j = 0; j < xb.cols(); ++j) {
+      if (run.b_mask(i, j) == 0.0) {
+        EXPECT_DOUBLE_EQ(xb(i, j), 0.0);
+      } else {
+        EXPECT_LT(xb(i, j), -20.0);  // a real RSS reading
+      }
+    }
+  }
+}
+
+TEST(FingerprintBuilder, ReferenceMatrixShapeAndValues) {
+  const auto& run = iup::test::office_run();
+  Sampler s(run.testbed, "xr");
+  const std::vector<std::size_t> cells = {4, 20, 50};
+  const auto xr = measure_reference_matrix(s, cells, 45);
+  EXPECT_EQ(xr.rows(), 8u);
+  EXPECT_EQ(xr.cols(), 3u);
+  // Column k should be close to the true day-45 fingerprint column.
+  const auto& x45 = run.ground_truth.at_day(45);
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(xr(i, k), x45(i, cells[k]), 4.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iup::sim

@@ -1,0 +1,57 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+#include "sim/testbeds.hpp"
+
+namespace iup::test {
+
+/// Random matrix with iid standard-normal entries.
+inline linalg::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                                    rng::Rng& rng, double sigma = 1.0) {
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.normal(0.0, sigma);
+  return m;
+}
+
+/// Random exactly-rank-r matrix (product of two random factors).
+inline linalg::Matrix random_low_rank(std::size_t rows, std::size_t cols,
+                                      std::size_t rank, rng::Rng& rng) {
+  return random_matrix(rows, rank, rng) * random_matrix(rank, cols, rng);
+}
+
+/// The office environment run is expensive enough to share across tests
+/// (construction surveys 6 ground-truth matrices).
+inline const eval::EnvironmentRun& office_run() {
+  static const eval::EnvironmentRun run(sim::make_office_testbed());
+  return run;
+}
+
+inline const eval::EnvironmentRun& hall_run() {
+  static const eval::EnvironmentRun run(sim::make_hall_testbed());
+  return run;
+}
+
+inline const eval::EnvironmentRun& library_run() {
+  static const eval::EnvironmentRun run(sim::make_library_testbed());
+  return run;
+}
+
+/// EXPECT that two matrices agree elementwise within tol.
+inline void expect_matrix_near(const linalg::Matrix& a,
+                               const linalg::Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a(i, j), b(i, j), tol)
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+}  // namespace iup::test
