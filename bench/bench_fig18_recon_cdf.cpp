@@ -1,9 +1,11 @@
 // Fig. 18 — reconstruction-error CDFs at the five update stamps (office).
 // Paper medians: 2.7 / 2.5 / 3.3 / 3.6 / 4.1 dB after 3/5/15/45 days and
-// 3 months.
+// 3 months.  Runs through the iup::api::Engine facade: one registered
+// site, non-committing reconstruct() per stamp (every stamp is evaluated
+// against the original day-0 correlation, as in the paper).
 #include "bench_common.hpp"
 
-#include "core/updater.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace iup;
@@ -13,14 +15,24 @@ int main() {
       "update interval");
 
   eval::EnvironmentRun run(sim::make_office_testbed());
-  const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
+  api::Engine engine;
+  if (const auto reg = eval::register_run(engine, run, "office"); !reg.ok()) {
+    std::fprintf(stderr, "%s\n", reg.status().to_string().c_str());
+    return 1;
+  }
+  const auto cells = engine.reference_cells("office").value();
 
   eval::Table table({"stamp", "median [dB]", "mean [dB]", "p90 [dB]"});
   for (std::size_t day : sim::paper_update_stamps()) {
-    const auto inputs =
-        eval::collect_update_inputs(run, updater.reference_cells(), day);
-    const auto rep = updater.reconstruct(inputs);
-    const auto score = eval::score_reconstruction(run, rep.x_hat, day);
+    const auto request =
+        eval::collect_update_request(run, "office", cells, day);
+    const auto rep = engine.reconstruct(request);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "%s\n", rep.status().to_string().c_str());
+      return 1;
+    }
+    const auto score = eval::score_reconstruction(run, rep.value().x_hat(),
+                                                  day);
     bench::print_cdf_row(eval::stamp_label(day), score.abs_errors_db);
     const eval::EmpiricalCdf cdf(score.abs_errors_db);
     table.add_row(eval::stamp_label(day),

@@ -3,31 +3,53 @@
 // 0.78 / 1.1 m, stale ~54% worse than iUpdater).  Fig. 22: mean errors in
 // all three rooms at all five stamps (paper: 66.7/57.4/55.1% improvement
 // over the stale database in hall/office/library).
+//
+// All reconstructions run through the iup::api::Engine facade (one site
+// per room, non-committing reconstruct() per stamp).
 #include "bench_common.hpp"
 
-#include "core/updater.hpp"
+#include <cstdlib>
+
+#include "api/engine.hpp"
 
 namespace {
 
 using namespace iup;
 
+linalg::Matrix engine_reconstruction(api::Engine& engine,
+                                     const eval::EnvironmentRun& run,
+                                     const std::string& site,
+                                     std::size_t day) {
+  const auto cells = engine.reference_cells(site);
+  if (!cells.ok()) {
+    std::fprintf(stderr, "%s\n", cells.status().to_string().c_str());
+    std::exit(1);
+  }
+  const auto request =
+      eval::collect_update_request(run, site, cells.value(), day);
+  const auto rep = engine.reconstruct(request);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().to_string().c_str());
+    std::exit(1);
+  }
+  return rep.value().x_hat();
+}
+
 struct RoomSeries {
   std::vector<double> truth, updated, stale;
 };
 
-RoomSeries evaluate_room(eval::EnvironmentRun& run) {
+RoomSeries evaluate_room(api::Engine& engine, eval::EnvironmentRun& run,
+                         const std::string& site) {
   const auto& x0 = run.ground_truth.at_day(0);
-  const core::IUpdater updater(x0, run.b_mask);
   RoomSeries out;
   for (std::size_t day : sim::paper_update_stamps()) {
-    const auto inputs =
-        eval::collect_update_inputs(run, updater.reference_cells(), day);
-    const auto rep = updater.reconstruct(inputs);
+    const auto x_hat = engine_reconstruction(engine, run, site, day);
     out.truth.push_back(eval::mean_of(eval::localization_errors(
         run, run.ground_truth.at_day(day), eval::LocalizerKind::kOmp, day,
         5)));
     out.updated.push_back(eval::mean_of(eval::localization_errors(
-        run, rep.x_hat, eval::LocalizerKind::kOmp, day, 5)));
+        run, x_hat, eval::LocalizerKind::kOmp, day, 5)));
     out.stale.push_back(eval::mean_of(eval::localization_errors(
         run, x0, eval::LocalizerKind::kOmp, day, 5)));
   }
@@ -47,15 +69,18 @@ int main() {
   {
     eval::EnvironmentRun run(sim::make_office_testbed());
     const auto& x0 = run.ground_truth.at_day(0);
-    const core::IUpdater updater(x0, run.b_mask);
-    const auto inputs =
-        eval::collect_update_inputs(run, updater.reference_cells(), 45);
-    const auto rep = updater.reconstruct(inputs);
+    api::Engine engine;
+    if (const auto reg = eval::register_run(engine, run, "office");
+        !reg.ok()) {
+      std::fprintf(stderr, "%s\n", reg.status().to_string().c_str());
+      return 1;
+    }
+    const auto x_hat = engine_reconstruction(engine, run, "office", 45);
     std::printf("office, 45 days, localization error CDF [m]:\n");
     const auto gt = eval::localization_errors(
         run, run.ground_truth.at_day(45), eval::LocalizerKind::kOmp, 45, 5, 3);
     const auto up = eval::localization_errors(
-        run, rep.x_hat, eval::LocalizerKind::kOmp, 45, 5, 3);
+        run, x_hat, eval::LocalizerKind::kOmp, 45, 5, 3);
     const auto st = eval::localization_errors(
         run, x0, eval::LocalizerKind::kOmp, 45, 5, 3);
     bench::print_cdf_row("Groundtruth", gt);
@@ -83,7 +108,13 @@ int main() {
 
   for (auto& room : rooms) {
     eval::EnvironmentRun run(std::move(room.testbed));
-    const auto series = evaluate_room(run);
+    api::Engine engine;
+    if (const auto reg = eval::register_run(engine, run, room.label);
+        !reg.ok()) {
+      std::fprintf(stderr, "%s\n", reg.status().to_string().c_str());
+      return 1;
+    }
+    const auto series = evaluate_room(engine, run, room.label);
     eval::Table table({"database (" + room.label + ")", "3 days", "5 days",
                        "15 days", "45 days", "3 months"});
     table.add_row("Groundtruth", series.truth);

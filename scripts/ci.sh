@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Configure + build + test, exactly what CI runs on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE:-Release} \
+      -DIUP_API_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

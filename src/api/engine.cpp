@@ -1,0 +1,333 @@
+#include "api/engine.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/rass.hpp"
+#include "core/mic.hpp"
+#include "loc/knn.hpp"
+#include "loc/omp.hpp"
+
+namespace iup::api {
+
+std::unique_ptr<loc::Localizer> make_localizer(
+    LocalizerKind kind, const linalg::Matrix& database,
+    const sim::Deployment* deployment) {
+  switch (kind) {
+    case LocalizerKind::kOmp:
+      return std::make_unique<loc::OmpLocalizer>(database,
+                                                 std::vector<double>{});
+    case LocalizerKind::kKnn: {
+      auto knn = std::make_unique<loc::KnnLocalizer>(database);
+      knn->set_deployment(deployment);
+      return knn;
+    }
+    case LocalizerKind::kRass:
+      if (deployment == nullptr) return nullptr;
+      return std::make_unique<baselines::Rass>(database, *deployment);
+  }
+  return nullptr;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)), store_(config_.history_limit()) {
+  backend_ = config_.solver_backend();
+  if (backend_ == nullptr) {
+    backend_ = make_backend(config_.solver_name(), config_.rsvd());
+  }
+  if (backend_ == nullptr) {
+    throw std::invalid_argument("Engine: unknown solver backend '" +
+                                config_.solver_name() + "'");
+  }
+}
+
+Result<SnapshotPtr> Engine::register_site(std::string site,
+                                          linalg::Matrix x_original,
+                                          linalg::Matrix b_mask) {
+  if (site.empty()) {
+    return Status::invalid_argument("register_site: empty site name");
+  }
+  if (store_.contains(site)) {
+    return Status::failed_precondition("register_site: site '" + site +
+                                       "' is already registered");
+  }
+  if (x_original.empty()) {
+    return Status::invalid_argument("register_site: empty fingerprint matrix");
+  }
+  if (x_original.rows() != b_mask.rows() ||
+      x_original.cols() != b_mask.cols()) {
+    return Status::invalid_argument(
+        "register_site: X is " + std::to_string(x_original.rows()) + "x" +
+        std::to_string(x_original.cols()) + " but B is " +
+        std::to_string(b_mask.rows()) + "x" + std::to_string(b_mask.cols()));
+  }
+  if (x_original.cols() % x_original.rows() != 0) {
+    return Status::invalid_argument(
+        "register_site: grid size " + std::to_string(x_original.cols()) +
+        " is not a multiple of the link count " +
+        std::to_string(x_original.rows()) + " (band layout)");
+  }
+  const core::BandLayout layout = core::band_layout_of(x_original);
+
+  core::MicResult mic;
+  linalg::Matrix z;
+  try {
+    mic = core::extract_mic(x_original, config_.mic_strategy());
+    if (mic.reference_cells.empty()) {
+      return Status::invalid_argument(
+          "register_site: fingerprint matrix has rank 0, no reference "
+          "locations can be selected");
+    }
+    z = core::acquire_correlation(mic, x_original, config_.lrr());
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("register_site: ") + e.what());
+  }
+
+  auto snapshot = std::make_shared<FingerprintSnapshot>(
+      site, store_.next_version(site), std::move(x_original),
+      std::move(b_mask), layout, std::move(mic.reference_cells),
+      std::move(z));
+  if (const Status put = store_.put(snapshot); !put.ok()) return put;
+  return SnapshotPtr(std::move(snapshot));
+}
+
+Status Engine::drop_site(const std::string& site) {
+  deployments_.erase(site);
+  localizers_.erase(site);
+  return store_.erase_site(site);
+}
+
+Status Engine::attach_deployment(const std::string& site,
+                                 const sim::Deployment* deployment) {
+  if (deployment == nullptr) {
+    return Status::invalid_argument("attach_deployment: null deployment");
+  }
+  if (!store_.contains(site)) {
+    return Status::not_found("attach_deployment: unknown site '" + site +
+                             "'");
+  }
+  deployments_[site] = deployment;
+  localizers_.erase(site);  // rebuild with geometry on next localize
+  return Status();
+}
+
+Result<SnapshotPtr> Engine::snapshot(const std::string& site) const {
+  return store_.latest(site);
+}
+
+Result<SnapshotPtr> Engine::snapshot(const std::string& site,
+                                     std::uint64_t version) const {
+  return store_.at_version(site, version);
+}
+
+Result<std::vector<std::size_t>> Engine::reference_cells(
+    const std::string& site) const {
+  Result<SnapshotPtr> latest = store_.latest(site);
+  if (!latest.ok()) return latest.status();
+  return latest.value()->reference_cells();
+}
+
+Status Engine::set_reference_cells(const std::string& site,
+                                   std::vector<std::size_t> cells) {
+  Result<SnapshotPtr> latest = store_.latest(site);
+  if (!latest.ok()) return latest.status();
+  const SnapshotPtr& snap = latest.value();
+  if (cells.empty()) {
+    return Status::invalid_argument("set_reference_cells: empty reference "
+                                    "set (at least one cell is required)");
+  }
+  for (const std::size_t cell : cells) {
+    if (cell >= snap->database().cols()) {
+      return Status::invalid_argument(
+          "set_reference_cells: cell " + std::to_string(cell) +
+          " is outside the " + std::to_string(snap->database().cols()) +
+          "-cell grid");
+    }
+  }
+
+  linalg::Matrix z;
+  try {
+    const core::MicResult mic =
+        core::mic_from_cells(snap->database(), cells);
+    z = core::acquire_correlation(mic, snap->database(), config_.lrr());
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("set_reference_cells: ") + e.what());
+  }
+
+  auto next = std::make_shared<FingerprintSnapshot>(
+      site, store_.next_version(site), snap->database(), snap->mask(),
+      snap->layout(), std::move(cells), std::move(z), snap->day());
+  return store_.put(std::move(next));
+}
+
+Result<UpdateResult> Engine::solve_request(const FingerprintSnapshot& snap,
+                                           const UpdateRequest& request) const {
+  const core::UpdateInputs& inputs = request.inputs;
+  const linalg::Matrix& mask = snap.mask();
+  if (inputs.x_b.rows() != mask.rows() || inputs.x_b.cols() != mask.cols()) {
+    return Status::invalid_argument(
+        "update: X_B is " + std::to_string(inputs.x_b.rows()) + "x" +
+        std::to_string(inputs.x_b.cols()) + " but site '" + snap.site() +
+        "' expects " + std::to_string(mask.rows()) + "x" +
+        std::to_string(mask.cols()));
+  }
+  if (inputs.x_r.rows() != mask.rows() ||
+      inputs.x_r.cols() != snap.reference_cells().size()) {
+    return Status::invalid_argument(
+        "update: X_R is " + std::to_string(inputs.x_r.rows()) + "x" +
+        std::to_string(inputs.x_r.cols()) + " but site '" + snap.site() +
+        "' expects one fresh column per reference location (" +
+        std::to_string(mask.rows()) + "x" +
+        std::to_string(snap.reference_cells().size()) + ")");
+  }
+
+  core::RsvdProblem problem;
+  problem.x_b = inputs.x_b;
+  problem.b = mask;
+  if (backend_->uses_correlation()) {
+    problem.p = inputs.x_r * snap.correlation();
+  }
+
+  UpdateResult result;
+  try {
+    result.solver = backend_->solve(problem, snap.layout());
+  } catch (const std::exception& e) {
+    return Status::internal("solver backend '" + backend_->name() +
+                            "' failed: " + e.what());
+  }
+  result.reference_count = snap.reference_cells().size();
+  result.base_version = snap.version();
+  return result;
+}
+
+Result<UpdateResult> Engine::reconstruct(const UpdateRequest& request) const {
+  Result<SnapshotPtr> latest = store_.latest(request.site);
+  if (!latest.ok()) return latest.status();
+  return solve_request(*latest.value(), request);
+}
+
+Result<UpdateResult> Engine::update(const UpdateRequest& request) {
+  Result<SnapshotPtr> latest = store_.latest(request.site);
+  if (!latest.ok()) return latest.status();
+  const SnapshotPtr& snap = latest.value();
+
+  Result<UpdateResult> solved = solve_request(*snap, request);
+  if (!solved.ok()) return solved;
+  UpdateResult result = std::move(solved).value();
+
+  // Commit: the reconstruction becomes the latest database; optionally
+  // re-acquire the correlation from it for the next cycle (the paper's
+  // "original or latest updated" phrasing).
+  std::vector<std::size_t> cells = snap->reference_cells();
+  linalg::Matrix z = snap->correlation();
+  if (config_.refresh_correlation()) {
+    try {
+      const core::MicResult mic =
+          core::mic_from_cells(result.solver.x_hat, cells);
+      z = core::acquire_correlation(mic, result.solver.x_hat, config_.lrr());
+    } catch (const std::exception& e) {
+      return Status::internal(std::string("update: correlation refresh: ") +
+                              e.what());
+    }
+  }
+
+  auto next = std::make_shared<FingerprintSnapshot>(
+      request.site, store_.next_version(request.site), result.solver.x_hat,
+      snap->mask(), snap->layout(), std::move(cells), std::move(z),
+      request.day);
+  if (const Status put = store_.put(next); !put.ok()) return put;
+  result.committed_version = next->version();
+  result.snapshot = std::move(next);
+  return result;
+}
+
+std::vector<Result<UpdateResult>> Engine::update_batch(
+    const std::vector<UpdateRequest>& requests) {
+  std::vector<Result<UpdateResult>> results;
+  results.reserve(requests.size());
+  for (const UpdateRequest& request : requests) {
+    // In-order application keeps same-site batches exactly equivalent to
+    // sequential update() calls; each request reads the store state its
+    // predecessors committed.
+    results.push_back(update(request));
+  }
+  return results;
+}
+
+Result<const loc::Localizer*> Engine::localizer_for(
+    const std::string& site) const {
+  Result<SnapshotPtr> latest = store_.latest(site);
+  if (!latest.ok()) return latest.status();
+  const SnapshotPtr& snap = latest.value();
+
+  const auto cached = localizers_.find(site);
+  if (cached != localizers_.end() &&
+      cached->second.version == snap->version()) {
+    return static_cast<const loc::Localizer*>(
+        cached->second.localizer.get());
+  }
+
+  const auto dep = deployments_.find(site);
+  std::unique_ptr<loc::Localizer> built;
+  try {
+    built = make_localizer(config_.localizer(), snap->database(),
+                           dep == deployments_.end() ? nullptr : dep->second);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("localizer construction: ") +
+                            e.what());
+  }
+  if (built == nullptr) {
+    return Status::failed_precondition(
+        "localize: this localizer needs deployment geometry; call "
+        "attach_deployment('" + site + "', ...) first");
+  }
+  CachedLocalizer& slot = localizers_[site];
+  slot.version = snap->version();
+  slot.localizer = std::move(built);
+  return static_cast<const loc::Localizer*>(slot.localizer.get());
+}
+
+Result<loc::LocalizationEstimate> Engine::localize(
+    const std::string& site, std::span<const double> measurement) const {
+  Result<SnapshotPtr> latest = store_.latest(site);
+  if (!latest.ok()) return latest.status();
+  if (measurement.size() != latest.value()->database().rows()) {
+    return Status::invalid_argument(
+        "localize: measurement has " + std::to_string(measurement.size()) +
+        " entries but site '" + site + "' has " +
+        std::to_string(latest.value()->database().rows()) + " links");
+  }
+  Result<const loc::Localizer*> localizer = localizer_for(site);
+  if (!localizer.ok()) return localizer.status();
+  try {
+    return localizer.value()->localize(measurement);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("localize: ") + e.what());
+  }
+}
+
+Result<std::vector<loc::LocalizationEstimate>> Engine::localize_batch(
+    const std::string& site,
+    const std::vector<std::vector<double>>& measurements) const {
+  Result<SnapshotPtr> latest = store_.latest(site);
+  if (!latest.ok()) return latest.status();
+  const std::size_t links = latest.value()->database().rows();
+  for (std::size_t k = 0; k < measurements.size(); ++k) {
+    if (measurements[k].size() != links) {
+      return Status::invalid_argument(
+          "localize_batch: measurement " + std::to_string(k) + " has " +
+          std::to_string(measurements[k].size()) + " entries but site '" +
+          site + "' has " + std::to_string(links) + " links");
+    }
+  }
+  Result<const loc::Localizer*> localizer = localizer_for(site);
+  if (!localizer.ok()) return localizer.status();
+  try {
+    return localizer.value()->localize_batch(measurements);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("localize_batch: ") + e.what());
+  }
+}
+
+}  // namespace iup::api

@@ -1,0 +1,135 @@
+// iup::api::Engine — the service facade over the whole pipeline.
+//
+// One Engine owns any number of deployments ("sites"), each a versioned
+// history of immutable FingerprintSnapshots in a SnapshotStore.  Per site
+// it runs the paper's loop: MIC reference selection + LRR correlation at
+// registration, then low-cost updates that reconstruct the database from
+// fresh X_B / X_R through a pluggable SolverBackend, and localization over
+// the latest database.  Every entry point validates its inputs and returns
+// Status / Result<T>; exceptions never cross this boundary.
+//
+// Batched entry points (update_batch / localize_batch) amortize per-site
+// state: snapshots and correlation matrices are reused from the store, and
+// the localizer (whose construction builds the matching dictionary) is
+// cached per site version.  They are the seam for future sharding/async
+// work — requests are independent, so a later engine can fan them out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/engine_config.hpp"
+#include "api/snapshot.hpp"
+#include "api/status.hpp"
+#include "core/updater.hpp"
+#include "loc/localizer.hpp"
+
+namespace iup::api {
+
+/// One low-cost update: fresh measurements for one site at one timestamp.
+struct UpdateRequest {
+  std::string site;
+  core::UpdateInputs inputs;  ///< X_B (no-decrease) + X_R (reference survey)
+  std::size_t day = 0;        ///< timestamp label carried into the snapshot
+};
+
+struct UpdateResult {
+  core::RsvdResult solver;
+  std::size_t reference_count = 0;
+  std::uint64_t base_version = 0;       ///< snapshot version the solve read
+  std::uint64_t committed_version = 0;  ///< 0 for reconstruct()
+  SnapshotPtr snapshot;                 ///< committed snapshot; null for
+                                        ///< reconstruct()
+
+  /// The reconstructed fingerprint matrix.
+  const linalg::Matrix& x_hat() const { return solver.x_hat; }
+};
+
+/// Build a localizer of `kind` over `database`.  `deployment` enables
+/// geometry-aware matching (KNN centroid averaging) and is mandatory for
+/// kRass; returns nullptr when it is missing for a kind that requires it.
+std::unique_ptr<loc::Localizer> make_localizer(
+    LocalizerKind kind, const linalg::Matrix& database,
+    const sim::Deployment* deployment = nullptr);
+
+class Engine {
+ public:
+  /// Throws std::invalid_argument when the config names an unknown solver
+  /// backend (a programming error, unlike the data errors below which are
+  /// reported through Status).
+  explicit Engine(EngineConfig config = {});
+
+  // --- site lifecycle --------------------------------------------------
+  /// Register a deployment from its initial site survey: selects the MIC
+  /// reference locations, acquires the correlation matrix Z and commits
+  /// snapshot version 1.
+  Result<SnapshotPtr> register_site(std::string site,
+                                    linalg::Matrix x_original,
+                                    linalg::Matrix b_mask);
+  Status drop_site(const std::string& site);
+
+  /// Attach deployment geometry (cell centres) to a registered site; the
+  /// pointer must outlive the engine.  Required for kKnn centroid
+  /// averaging and for kRass.
+  Status attach_deployment(const std::string& site,
+                           const sim::Deployment* deployment);
+
+  // --- snapshots -------------------------------------------------------
+  Result<SnapshotPtr> snapshot(const std::string& site) const;
+  Result<SnapshotPtr> snapshot(const std::string& site,
+                               std::uint64_t version) const;
+  Result<std::vector<std::size_t>> reference_cells(
+      const std::string& site) const;
+  /// Override the reference set (benches evaluate 7 / 8+1 / random sets);
+  /// commits a new snapshot version with the re-acquired correlation.
+  Status set_reference_cells(const std::string& site,
+                             std::vector<std::size_t> cells);
+
+  // --- updates ---------------------------------------------------------
+  /// Reconstruct against the latest snapshot without committing.
+  Result<UpdateResult> reconstruct(const UpdateRequest& request) const;
+  /// Reconstruct and commit a new snapshot version.
+  Result<UpdateResult> update(const UpdateRequest& request);
+  /// Apply many updates (any mix of sites).  Requests are processed in
+  /// order, so same-site requests at increasing timestamps are exactly
+  /// equivalent to sequential update() calls; each request gets its own
+  /// Result and a failed request never blocks the rest of the batch.
+  std::vector<Result<UpdateResult>> update_batch(
+      const std::vector<UpdateRequest>& requests);
+
+  // --- localization ----------------------------------------------------
+  Result<loc::LocalizationEstimate> localize(
+      const std::string& site, std::span<const double> measurement) const;
+  /// Localize many online measurements against one site; the localizer
+  /// (and its matching dictionary) is built once per site version.
+  Result<std::vector<loc::LocalizationEstimate>> localize_batch(
+      const std::string& site,
+      const std::vector<std::vector<double>>& measurements) const;
+
+  const SnapshotStore& store() const { return store_; }
+  const EngineConfig& config() const { return config_; }
+  const SolverBackend& solver() const { return *backend_; }
+
+ private:
+  /// Validate `request` against `snapshot` and run the solver.
+  Result<UpdateResult> solve_request(const FingerprintSnapshot& snapshot,
+                                     const UpdateRequest& request) const;
+  Result<const loc::Localizer*> localizer_for(const std::string& site) const;
+
+  EngineConfig config_;
+  std::shared_ptr<const SolverBackend> backend_;
+  SnapshotStore store_;
+  std::unordered_map<std::string, const sim::Deployment*> deployments_;
+
+  struct CachedLocalizer {
+    std::uint64_t version = 0;
+    std::unique_ptr<loc::Localizer> localizer;
+  };
+  mutable std::unordered_map<std::string, CachedLocalizer> localizers_;
+};
+
+}  // namespace iup::api

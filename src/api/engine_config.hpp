@@ -1,0 +1,97 @@
+// Fluent configuration for iup::api::Engine.
+//
+//   auto engine = api::Engine(api::EngineConfig()
+//                                 .solver("nlc-only")
+//                                 .localizer(api::LocalizerKind::kKnn)
+//                                 .refresh_correlation(false));
+//
+// Setters return *this; unset fields keep the paper's defaults (self-
+// augmented RSVD, OMP localization, correlation refreshed on every commit).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/solver_backend.hpp"
+#include "core/lrr.hpp"
+#include "core/mic.hpp"
+#include "core/rsvd.hpp"
+
+namespace iup::api {
+
+/// Which localizer Engine::localize builds over a site's database.
+enum class LocalizerKind {
+  kOmp,   ///< the paper's sparse-recovery matcher (Sec. V)
+  kKnn,   ///< RADAR-style nearest fingerprints
+  kRass,  ///< SVR baseline; needs Engine::attach_deployment
+};
+
+class EngineConfig {
+ public:
+  EngineConfig() = default;
+
+  EngineConfig& rsvd(core::RsvdOptions value) {
+    rsvd_ = value;
+    return *this;
+  }
+  EngineConfig& lrr(core::LrrOptions value) {
+    lrr_ = value;
+    return *this;
+  }
+  EngineConfig& mic_strategy(core::MicStrategy value) {
+    mic_strategy_ = value;
+    return *this;
+  }
+  /// Re-derive Z from each committed reconstruction (the paper's "original
+  /// or latest updated" phrasing).
+  EngineConfig& refresh_correlation(bool value) {
+    refresh_correlation_ = value;
+    return *this;
+  }
+  /// Pick a solver by registry name (see make_backend()); resolved against
+  /// the rsvd() options when the engine is constructed.
+  EngineConfig& solver(std::string name) {
+    solver_name_ = std::move(name);
+    solver_backend_.reset();
+    return *this;
+  }
+  /// Inject a concrete backend instance (wins over solver(name)).
+  EngineConfig& solver(std::shared_ptr<const SolverBackend> backend) {
+    solver_backend_ = std::move(backend);
+    return *this;
+  }
+  EngineConfig& localizer(LocalizerKind value) {
+    localizer_ = value;
+    return *this;
+  }
+  /// Snapshot versions retained per site (0 = unlimited).
+  EngineConfig& history_limit(std::size_t value) {
+    history_limit_ = value;
+    return *this;
+  }
+
+  const core::RsvdOptions& rsvd() const { return rsvd_; }
+  const core::LrrOptions& lrr() const { return lrr_; }
+  core::MicStrategy mic_strategy() const { return mic_strategy_; }
+  bool refresh_correlation() const { return refresh_correlation_; }
+  const std::string& solver_name() const { return solver_name_; }
+  const std::shared_ptr<const SolverBackend>& solver_backend() const {
+    return solver_backend_;
+  }
+  LocalizerKind localizer() const { return localizer_; }
+  std::size_t history_limit() const { return history_limit_; }
+
+ private:
+  core::RsvdOptions rsvd_;
+  core::LrrOptions lrr_;
+  core::MicStrategy mic_strategy_ = core::MicStrategy::kQrcp;
+  bool refresh_correlation_ = true;
+  std::string solver_name_ = "self-augmented";
+  std::shared_ptr<const SolverBackend> solver_backend_;
+  LocalizerKind localizer_ = LocalizerKind::kOmp;
+  std::size_t history_limit_ = 0;
+};
+
+}  // namespace iup::api

@@ -1,0 +1,89 @@
+#include "api/snapshot.hpp"
+
+#include <algorithm>
+
+namespace iup::api {
+
+std::uint64_t SnapshotStore::next_version(const std::string& site) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return 1;
+  const SiteHistory& history = it->second;
+  return history.first_version + history.versions.size();
+}
+
+Status SnapshotStore::put(SnapshotPtr snapshot) {
+  if (snapshot == nullptr) {
+    return Status::invalid_argument("SnapshotStore::put: null snapshot");
+  }
+  const std::string& site = snapshot->site();
+  if (site.empty()) {
+    return Status::invalid_argument("SnapshotStore::put: empty site name");
+  }
+  const std::uint64_t expected = next_version(site);
+  if (snapshot->version() != expected) {
+    return Status::failed_precondition(
+        "SnapshotStore::put: site '" + site + "' expects version " +
+        std::to_string(expected) + ", got " +
+        std::to_string(snapshot->version()));
+  }
+  SiteHistory& history = sites_[site];
+  history.versions.push_back(std::move(snapshot));
+  if (history_limit_ > 0 && history.versions.size() > history_limit_) {
+    const std::size_t drop = history.versions.size() - history_limit_;
+    history.versions.erase(history.versions.begin(),
+                           history.versions.begin() +
+                               static_cast<std::ptrdiff_t>(drop));
+    history.first_version += drop;
+  }
+  return Status();
+}
+
+Result<SnapshotPtr> SnapshotStore::latest(const std::string& site) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.versions.empty()) {
+    return Status::not_found("SnapshotStore: unknown site '" + site + "'");
+  }
+  return it->second.versions.back();
+}
+
+Result<SnapshotPtr> SnapshotStore::at_version(const std::string& site,
+                                              std::uint64_t version) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return Status::not_found("SnapshotStore: unknown site '" + site + "'");
+  }
+  const SiteHistory& history = it->second;
+  if (version < history.first_version) {
+    return Status::not_found("SnapshotStore: site '" + site + "' version " +
+                             std::to_string(version) +
+                             " was evicted by the history limit");
+  }
+  const std::uint64_t offset = version - history.first_version;
+  if (offset >= history.versions.size()) {
+    return Status::not_found("SnapshotStore: site '" + site +
+                             "' has no version " + std::to_string(version));
+  }
+  return history.versions[offset];
+}
+
+std::size_t SnapshotStore::version_count(const std::string& site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.versions.size();
+}
+
+std::vector<std::string> SnapshotStore::sites() const {
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, history] : sites_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SnapshotStore::erase_site(const std::string& site) {
+  if (sites_.erase(site) == 0) {
+    return Status::not_found("SnapshotStore: unknown site '" + site + "'");
+  }
+  return Status();
+}
+
+}  // namespace iup::api

@@ -1,0 +1,115 @@
+// Immutable fingerprint snapshots and the versioned per-site store.
+//
+// A FingerprintSnapshot bundles everything one deployment needs to serve
+// reconstruction and localization at a point in time: the fingerprint
+// database, the no-decrease mask, the band layout, the reference-location
+// set and the inherent correlation matrix Z derived from them.  Snapshots
+// are immutable; an update never edits state in place, it commits a new
+// version to the SnapshotStore.  Readers therefore keep a consistent view
+// (shared_ptr) for as long as they need it while writers move the site
+// forward — the seam future sharding/async work builds on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/status.hpp"
+#include "core/fingerprint.hpp"
+#include "linalg/matrix.hpp"
+
+namespace iup::api {
+
+class FingerprintSnapshot {
+ public:
+  FingerprintSnapshot(std::string site, std::uint64_t version,
+                      linalg::Matrix database, linalg::Matrix mask,
+                      core::BandLayout layout,
+                      std::vector<std::size_t> reference_cells,
+                      linalg::Matrix correlation, std::size_t day = 0)
+      : site_(std::move(site)),
+        version_(version),
+        day_(day),
+        database_(std::move(database)),
+        mask_(std::move(mask)),
+        layout_(layout),
+        reference_cells_(std::move(reference_cells)),
+        correlation_(std::move(correlation)) {}
+
+  const std::string& site() const { return site_; }
+  /// 1-based, monotonically increasing per site.
+  std::uint64_t version() const { return version_; }
+  /// Timestamp label of the survey/update that produced this snapshot.
+  std::size_t day() const { return day_; }
+
+  /// M x N fingerprint matrix ("original or latest updated").
+  const linalg::Matrix& database() const { return database_; }
+  /// M x N 0/1 no-decrease index matrix (Eq. 8).
+  const linalg::Matrix& mask() const { return mask_; }
+  const core::BandLayout& layout() const { return layout_; }
+  /// Grid cells a surveyor must visit for the next update.
+  const std::vector<std::size_t>& reference_cells() const {
+    return reference_cells_;
+  }
+  /// Inherent correlation matrix Z (n x N, Eq. 12).
+  const linalg::Matrix& correlation() const { return correlation_; }
+
+ private:
+  std::string site_;
+  std::uint64_t version_ = 0;
+  std::size_t day_ = 0;
+  linalg::Matrix database_;
+  linalg::Matrix mask_;
+  core::BandLayout layout_;
+  std::vector<std::size_t> reference_cells_;
+  linalg::Matrix correlation_;
+};
+
+using SnapshotPtr = std::shared_ptr<const FingerprintSnapshot>;
+
+/// Versioned snapshot history for any number of sites.
+class SnapshotStore {
+ public:
+  /// Cap on retained versions per site (oldest evicted first); 0 keeps the
+  /// full history.  Version numbers keep counting across evictions.
+  explicit SnapshotStore(std::size_t history_limit = 0)
+      : history_limit_(history_limit) {}
+
+  /// The version number the next put() for `site` must carry (1 for a new
+  /// site).
+  std::uint64_t next_version(const std::string& site) const;
+
+  /// Append the newest version of its site.  Fails with
+  /// kFailedPrecondition when `snapshot->version() != next_version()` —
+  /// versions are append-only and gap-free by construction.
+  Status put(SnapshotPtr snapshot);
+
+  bool contains(const std::string& site) const {
+    return sites_.count(site) != 0;
+  }
+  Result<SnapshotPtr> latest(const std::string& site) const;
+  Result<SnapshotPtr> at_version(const std::string& site,
+                                 std::uint64_t version) const;
+
+  /// Number of versions currently retained (after eviction) for `site`;
+  /// 0 for unknown sites.
+  std::size_t version_count(const std::string& site) const;
+  std::vector<std::string> sites() const;
+  Status erase_site(const std::string& site);
+
+  std::size_t history_limit() const { return history_limit_; }
+
+ private:
+  struct SiteHistory {
+    std::uint64_t first_version = 1;   ///< version of versions.front()
+    std::vector<SnapshotPtr> versions;
+  };
+
+  std::unordered_map<std::string, SiteHistory> sites_;
+  std::size_t history_limit_ = 0;
+};
+
+}  // namespace iup::api

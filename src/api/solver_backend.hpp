@@ -1,0 +1,86 @@
+// Pluggable reconstruction solvers.
+//
+// The seed hardwired SelfAugmentedRsvd into IUpdater through UpdaterConfig;
+// the engine instead solves through this interface, so ablation variants
+// (basic RSVD, correlation-only, NLC-only, ALS-only) and future backends
+// (other completion solvers, accelerator offload) are a runtime choice.
+// Backends are stateless function objects over a fully-specified
+// RsvdProblem; one instance may serve any number of sites concurrently.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/rsvd.hpp"
+
+namespace iup::api {
+
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  /// Registry name ("self-augmented", "basic-rsvd", ...).
+  virtual std::string name() const = 0;
+
+  /// True when the backend consumes the Constraint-1 prediction
+  /// `problem.p = X_R * Z`; the engine skips that product otherwise.
+  virtual bool uses_correlation() const = 0;
+
+  /// Reconstruct the full fingerprint matrix for one problem.  `layout` is
+  /// the band structure Constraint 2 operates on.
+  virtual core::RsvdResult solve(const core::RsvdProblem& problem,
+                                 const core::BandLayout& layout) const = 0;
+};
+
+/// The paper's self-augmented RSVD (Eq. 18 / Algorithm 1) with explicit
+/// options; also backs the ablation presets in make_backend().
+class SelfAugmentedBackend final : public SolverBackend {
+ public:
+  explicit SelfAugmentedBackend(core::RsvdOptions options = {},
+                                std::string name = "self-augmented")
+      : options_(options), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  bool uses_correlation() const override { return options_.use_constraint1; }
+  core::RsvdResult solve(const core::RsvdProblem& problem,
+                         const core::BandLayout& layout) const override;
+
+  const core::RsvdOptions& options() const { return options_; }
+
+ private:
+  core::RsvdOptions options_;
+  std::string name_;
+};
+
+/// Plain regularized-SVD completion (Eq. 11): no constraints at all.
+class BasicRsvdBackend final : public SolverBackend {
+ public:
+  explicit BasicRsvdBackend(core::RsvdOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "basic-rsvd"; }
+  bool uses_correlation() const override { return false; }
+  core::RsvdResult solve(const core::RsvdProblem& problem,
+                         const core::BandLayout& layout) const override;
+
+ private:
+  core::RsvdOptions options_;
+};
+
+/// Names make_backend() understands, in registry order.
+std::vector<std::string> backend_names();
+
+/// Build a backend by registry name, deriving its options from `base`:
+///   "self-augmented"   both constraints as configured in `base`
+///   "basic-rsvd"       Eq. 11 completion, no constraints
+///   "correlation-only" Constraint 1 only
+///   "nlc-only"         Constraint 1 + location continuity (ALS weight 0)
+///   "als-only"         Constraint 1 + adjacent-link similarity (NLC 0)
+/// Returns nullptr for unknown names.
+std::shared_ptr<const SolverBackend> make_backend(
+    std::string_view name, const core::RsvdOptions& base = {});
+
+}  // namespace iup::api

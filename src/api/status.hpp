@@ -1,0 +1,119 @@
+// Status / Result<T> error handling for the service facade.
+//
+// The research layers below (core/, loc/, ...) throw std::invalid_argument
+// on malformed inputs, which is fine for a bench harness but not for a
+// long-running service where one bad request must not take down the
+// process.  Every iup::api entry point validates its inputs and returns a
+// Status (or Result<T>) instead; exceptions never cross the api boundary.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace iup::api {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,     ///< malformed request (shape mismatch, empty set, ...)
+  kNotFound,            ///< unknown site / evicted snapshot version
+  kFailedPrecondition,  ///< valid request, wrong engine state (duplicate
+                        ///< site, missing deployment, ...)
+  kInternal,            ///< a lower layer failed unexpectedly
+};
+
+constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  /// Default construction is success, so `return {};` reads as "ok".
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string message) {
+    return {StatusCode::kInvalidArgument, std::move(message)};
+  }
+  static Status not_found(std::string message) {
+    return {StatusCode::kNotFound, std::move(message)};
+  }
+  static Status failed_precondition(std::string message) {
+    return {StatusCode::kFailedPrecondition, std::move(message)};
+  }
+  static Status internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string to_string() const {
+    std::string out{api::to_string(code_)};
+    if (!message_.empty()) out += ": " + message_;
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::internal("Result constructed from an OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The held value; throws std::logic_error when !ok() (reaching for the
+  /// value of a failed Result is a caller bug, not a data error).
+  const T& value() const& {
+    ensure_ok();
+    return *value_;
+  }
+  T& value() & {
+    ensure_ok();
+    return *value_;
+  }
+  T&& value() && {
+    ensure_ok();
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void ensure_ok() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value on error: " + status_.to_string());
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace iup::api

@@ -4,6 +4,12 @@
 
 namespace iup::core {
 
+linalg::Matrix acquire_correlation(const MicResult& mic,
+                                   const linalg::Matrix& x,
+                                   const LrrOptions& options) {
+  return solve_lrr(mic.x_mic, x, options).z;
+}
+
 IUpdater::IUpdater(linalg::Matrix x_original, linalg::Matrix b_mask,
                    UpdaterConfig config)
     : config_(std::move(config)),
@@ -18,8 +24,7 @@ IUpdater::IUpdater(linalg::Matrix x_original, linalg::Matrix b_mask,
 }
 
 void IUpdater::acquire_correlation() {
-  const LrrResult lrr = solve_lrr(mic_.x_mic, x_latest_, config_.lrr);
-  z_ = lrr.z;
+  z_ = core::acquire_correlation(mic_, x_latest_, config_.lrr);
 }
 
 void IUpdater::set_reference_cells(const std::vector<std::size_t>& cells) {

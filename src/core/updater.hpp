@@ -11,6 +11,12 @@
 // The class is deliberately stateful across updates: after `update()` the
 // reconstructed matrix becomes the "latest updated" database, exactly as
 // the paper describes re-acquiring the correlation from it next time.
+//
+// DEPRECATED as a service entry point: new code should drive the pipeline
+// through iup::api::Engine (src/api/engine.hpp), which adds versioned
+// snapshots, Status-based error handling, batched updates and pluggable
+// solver backends.  IUpdater remains as a thin single-site shim over the
+// same core modules for existing tests and benches.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +28,12 @@
 #include "core/self_augmented.hpp"
 
 namespace iup::core {
+
+/// Inherent-correlation acquisition shared by IUpdater and api::Engine:
+/// solve the LRR (Eq. 12) with the MIC columns as dictionary and return Z.
+linalg::Matrix acquire_correlation(const MicResult& mic,
+                                   const linalg::Matrix& x,
+                                   const LrrOptions& options);
 
 struct UpdaterConfig {
   RsvdOptions rsvd;

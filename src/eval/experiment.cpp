@@ -2,10 +2,6 @@
 
 #include <stdexcept>
 
-#include "baselines/rass.hpp"
-#include "loc/knn.hpp"
-#include "loc/omp.hpp"
-
 namespace iup::eval {
 
 EnvironmentRun::EnvironmentRun(sim::Testbed tb)
@@ -44,6 +40,32 @@ ReconstructionScore score_reconstruction(const EnvironmentRun& run,
   return score;
 }
 
+api::UpdateRequest collect_update_request(
+    const EnvironmentRun& run, const std::string& site,
+    const std::vector<std::size_t>& reference_cells, std::size_t day,
+    std::size_t samples_per_location, const std::string& stream_tag) {
+  api::UpdateRequest request;
+  request.site = site;
+  request.inputs = collect_update_inputs(run, reference_cells, day,
+                                         samples_per_location, stream_tag);
+  request.day = day;
+  return request;
+}
+
+api::Result<api::SnapshotPtr> register_run(api::Engine& engine,
+                                           const EnvironmentRun& run,
+                                           const std::string& site) {
+  api::Result<api::SnapshotPtr> registered =
+      engine.register_site(site, run.ground_truth.at_day(0), run.b_mask);
+  if (!registered.ok()) return registered;
+  if (const api::Status attached = engine.attach_deployment(
+          site, &run.testbed.deployment());
+      !attached.ok()) {
+    return attached;
+  }
+  return registered;
+}
+
 std::vector<double> localization_errors(const EnvironmentRun& run,
                                         const linalg::Matrix& database,
                                         LocalizerKind kind, std::size_t day,
@@ -51,36 +73,31 @@ std::vector<double> localization_errors(const EnvironmentRun& run,
                                         std::size_t trials,
                                         const std::string& stream_tag) {
   const sim::Deployment& dep = run.testbed.deployment();
-
-  std::unique_ptr<loc::Localizer> localizer;
-  loc::KnnLocalizer* knn = nullptr;
-  switch (kind) {
-    case LocalizerKind::kOmp:
-      localizer = std::make_unique<loc::OmpLocalizer>(
-          database, std::vector<double>{});
-      break;
-    case LocalizerKind::kKnn: {
-      auto k = std::make_unique<loc::KnnLocalizer>(database);
-      knn = k.get();
-      localizer = std::move(k);
-      break;
-    }
-    case LocalizerKind::kRass:
-      localizer = std::make_unique<baselines::Rass>(database, dep);
-      break;
+  const std::unique_ptr<loc::Localizer> localizer =
+      api::make_localizer(kind, database, &dep);
+  if (localizer == nullptr) {
+    throw std::invalid_argument("localization_errors: unsupported localizer");
   }
-  if (knn != nullptr) knn->set_deployment(&dep);
 
   sim::Sampler sampler(run.testbed,
                        stream_tag + "-day" + std::to_string(day));
-  std::vector<double> errors;
-  errors.reserve(dep.num_cells() * trials);
+  std::vector<std::vector<double>> queries;
+  std::vector<std::size_t> true_cells;
+  queries.reserve(dep.num_cells() * trials);
+  true_cells.reserve(dep.num_cells() * trials);
   for (std::size_t t = 0; t < trials; ++t) {
     for (std::size_t j = 0; j < dep.num_cells(); ++j) {
-      const auto y = sampler.online_measurement(j, day, samples);
-      const auto est = localizer->localize(y);
-      errors.push_back(localization_error_m(dep, j, est.cell));
+      queries.push_back(sampler.online_measurement(j, day, samples));
+      true_cells.push_back(j);
     }
+  }
+
+  const auto estimates = localizer->localize_batch(queries);
+  std::vector<double> errors;
+  errors.reserve(estimates.size());
+  for (std::size_t k = 0; k < estimates.size(); ++k) {
+    errors.push_back(localization_error_m(dep, true_cells[k],
+                                          estimates[k].cell));
   }
   return errors;
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "core/updater.hpp"
 #include "eval/metrics.hpp"
 #include "sim/fingerprint_builder.hpp"
@@ -37,6 +38,21 @@ core::UpdateInputs collect_update_inputs(
     std::size_t day, std::size_t samples_per_location = 5,
     const std::string& stream_tag = "update");
 
+/// Engine flavour of collect_update_inputs: the same fresh measurements
+/// wrapped as a batched-API request for `site` at `day`.
+api::UpdateRequest collect_update_request(
+    const EnvironmentRun& run, const std::string& site,
+    const std::vector<std::size_t>& reference_cells, std::size_t day,
+    std::size_t samples_per_location = 5,
+    const std::string& stream_tag = "update");
+
+/// Register `run` on an engine as `site` (day-0 survey + no-decrease mask)
+/// and attach its deployment geometry so every LocalizerKind works.  `run`
+/// must outlive the engine's use of the site.
+api::Result<api::SnapshotPtr> register_run(api::Engine& engine,
+                                           const EnvironmentRun& run,
+                                           const std::string& site);
+
 /// Result of scoring one reconstruction against the ground truth.
 struct ReconstructionScore {
   std::size_t day = 0;
@@ -49,8 +65,8 @@ ReconstructionScore score_reconstruction(const EnvironmentRun& run,
                                          const linalg::Matrix& x_hat,
                                          std::size_t day);
 
-/// Which localizer to evaluate.
-enum class LocalizerKind { kOmp, kKnn, kRass };
+/// Which localizer to evaluate (shared with the service facade).
+using LocalizerKind = api::LocalizerKind;
 
 /// Localization errors [m] over every grid cell at `day`, using `database`
 /// as the fingerprint matrix.  `trials` online measurements are drawn per

@@ -4,6 +4,16 @@
 
 namespace iup::loc {
 
+std::vector<LocalizationEstimate> Localizer::localize_batch(
+    const std::vector<std::vector<double>>& measurements) const {
+  std::vector<LocalizationEstimate> estimates;
+  estimates.reserve(measurements.size());
+  for (const std::vector<double>& measurement : measurements) {
+    estimates.push_back(localize(measurement));
+  }
+  return estimates;
+}
+
 double cell_distance_m(const sim::Deployment& deployment, std::size_t a,
                        std::size_t b) {
   return geom::distance(deployment.cell_center(a), deployment.cell_center(b));

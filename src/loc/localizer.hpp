@@ -31,6 +31,12 @@ class Localizer {
   virtual LocalizationEstimate localize(
       std::span<const double> measurement) const = 0;
 
+  /// Batched localization: one estimate per measurement, in order.  The
+  /// base implementation loops over localize(); implementations with
+  /// per-call setup cost may override it to amortize that work.
+  virtual std::vector<LocalizationEstimate> localize_batch(
+      const std::vector<std::vector<double>>& measurements) const;
+
   /// Human-readable method name for reports.
   virtual std::string name() const = 0;
 };
