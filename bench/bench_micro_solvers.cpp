@@ -1,9 +1,14 @@
 // Micro-benchmarks (google-benchmark) for the numerical kernels: SVD,
-// LRR, one Algorithm-1 sweep, the full update, OMP localization and SVR
-// training.  These are runtime numbers, not paper figures; the paper's
-// desktop (i7-4790) runs the whole pipeline interactively and so must we.
+// LRR, the Algorithm-1 sweep at several thread counts, the full update,
+// the batched engine entry points, OMP localization and SVR training.
+// These are runtime numbers, not paper figures; the paper's desktop
+// (i7-4790) runs the whole pipeline interactively and so must we.
+//
+// scripts/bench.sh runs this binary and records the JSON trajectory in
+// BENCH_micro.json (previous run kept as "before").
 #include <benchmark/benchmark.h>
 
+#include "api/engine.hpp"
 #include "baselines/rass.hpp"
 #include "core/lrr.hpp"
 #include "core/mic.hpp"
@@ -11,6 +16,7 @@
 #include "eval/experiment.hpp"
 #include "linalg/svd.hpp"
 #include "loc/omp.hpp"
+#include "rng/rng.hpp"
 
 namespace {
 
@@ -56,6 +62,73 @@ void BM_FullUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullUpdate);
+
+// The Algorithm-1 sweep (reconstruction only) at explicit thread counts;
+// Arg(1) is the single-thread allocation-free baseline the acceptance
+// criteria track, higher args exercise the iup::parallel fan-out.
+void BM_Algorithm1Sweep(benchmark::State& state) {
+  const auto& run = office();
+  core::UpdaterConfig config;
+  config.rsvd.threads = static_cast<std::size_t>(state.range(0));
+  const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask,
+                               config);
+  const auto inputs =
+      eval::collect_update_inputs(run, updater.reference_cells(), 45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(updater.reconstruct(inputs));
+  }
+}
+BENCHMARK(BM_Algorithm1Sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The X_hat = L R^T kernel (objective evaluation) on factor shapes from
+// the office grid up to a warehouse-scale grid.
+void BM_XhatProduct(benchmark::State& state) {
+  rng::Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix l(16, 16);
+  linalg::Matrix r(n, 16);
+  for (double& v : l.data()) v = rng.normal();
+  for (double& v : r.data()) v = rng.normal();
+  linalg::Matrix out;
+  for (auto _ : state) {
+    linalg::multiply_transposed_into(l, r, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_XhatProduct)->Arg(96)->Arg(4096);
+
+// Batched engine updates across independent sites.
+void BM_UpdateBatchFourSites(benchmark::State& state) {
+  const auto& run = office();
+  api::Engine engine(api::EngineConfig()
+                         .threads(static_cast<std::size_t>(state.range(0)))
+                         .history_limit(2));
+  std::vector<api::UpdateRequest> requests;
+  for (const char* site : {"a", "b", "c", "d"}) {
+    eval::register_run(engine, run, site);
+    const auto cells = engine.reference_cells(site).value();
+    requests.push_back(eval::collect_update_request(run, site, cells, 45));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.update_batch(requests));
+  }
+}
+BENCHMARK(BM_UpdateBatchFourSites)->Arg(1)->Arg(4);
+
+// Batched localization of one measurement per grid cell.
+void BM_LocalizeBatch(benchmark::State& state) {
+  const auto& run = office();
+  api::Engine engine(api::EngineConfig().threads(
+      static_cast<std::size_t>(state.range(0))));
+  eval::register_run(engine, run, "office");
+  const auto& x = run.ground_truth.at_day(0);
+  std::vector<std::vector<double>> measurements;
+  for (std::size_t j = 0; j < x.cols(); ++j) measurements.push_back(x.col(j));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.localize_batch("office", measurements));
+  }
+}
+BENCHMARK(BM_LocalizeBatch)->Arg(1)->Arg(8);
 
 void BM_OmpLocalize(benchmark::State& state) {
   const auto& run = office();

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Build Release and run the micro benches, maintaining the perf trajectory
+# in BENCH_micro.json: the previous run's numbers rotate into "before" and
+# the fresh run becomes "after", so every committed file carries a
+# before/after pair.
+#
+# Usage:
+#   scripts/bench.sh            full run (MIN_TIME=0.1s per benchmark)
+#   MIN_TIME=0.01 scripts/bench.sh   CI smoke run
+#   FILTER='BM_Algorithm1Sweep' scripts/bench.sh   subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+MIN_TIME=${MIN_TIME:-0.1}
+FILTER=${FILTER:-.}
+OUT=${OUT:-BENCH_micro.json}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DIUP_API_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_solvers
+
+BIN="$BUILD_DIR/bench/bench_micro_solvers"
+if [ ! -x "$BIN" ]; then
+  echo "bench_micro_solvers was not built (google-benchmark missing?)" >&2
+  exit 1
+fi
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+# Older google-benchmark wants a plain double for --benchmark_min_time;
+# newer releases accept it too (with a deprecation warning).
+"$BIN" --benchmark_min_time="$MIN_TIME" --benchmark_filter="$FILTER" \
+       --benchmark_format=json > "$TMP"
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json
+import sys
+
+run = json.load(open(sys.argv[1]))
+out_path = sys.argv[2]
+entry = {"context": run.get("context", {}), "benchmarks": run["benchmarks"]}
+try:
+    with open(out_path) as f:
+        prev = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    prev = {}
+doc = {"before": prev.get("after") or prev.get("before"), "after": entry}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+
+for b in entry["benchmarks"]:
+    print(f"{b['name']:40s} {b['real_time'] / 1e6:10.3f} ms")
+print(f"wrote {out_path}")
+EOF

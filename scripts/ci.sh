@@ -9,3 +9,10 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE:-Release} \
       -DIUP_API_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Bench smoke: make sure the micro benches still run (tiny min_time; the
+# numbers are meaningless on shared CI hardware, the exercise is not).
+if [ -x "$BUILD_DIR/bench/bench_micro_solvers" ]; then
+  "$BUILD_DIR/bench/bench_micro_solvers" --benchmark_min_time=0.01 \
+      --benchmark_filter='BM_Algorithm1Sweep|BM_FullUpdate|BM_LocalizeBatch'
+fi

@@ -8,6 +8,7 @@
 #include "core/mic.hpp"
 #include "loc/knn.hpp"
 #include "loc/omp.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace iup::api {
 
@@ -34,7 +35,11 @@ Engine::Engine(EngineConfig config)
     : config_(std::move(config)), store_(config_.history_limit()) {
   backend_ = config_.solver_backend();
   if (backend_ == nullptr) {
-    backend_ = make_backend(config_.solver_name(), config_.rsvd());
+    // The effective thread count wins over RsvdOptions::threads no matter
+    // in which order the fluent setters were called.
+    core::RsvdOptions options = config_.rsvd();
+    options.threads = config_.threads();
+    backend_ = make_backend(config_.solver_name(), options);
   }
   if (backend_ == nullptr) {
     throw std::invalid_argument("Engine: unknown solver backend '" +
@@ -48,9 +53,12 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
   if (site.empty()) {
     return Status::invalid_argument("register_site: empty site name");
   }
-  if (store_.contains(site)) {
-    return Status::failed_precondition("register_site: site '" + site +
-                                       "' is already registered");
+  {
+    std::lock_guard<std::mutex> lock(*state_mutex_);
+    if (store_.contains(site)) {
+      return Status::failed_precondition("register_site: site '" + site +
+                                         "' is already registered");
+    }
   }
   if (x_original.empty()) {
     return Status::invalid_argument("register_site: empty fingerprint matrix");
@@ -84,6 +92,13 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
     return Status::internal(std::string("register_site: ") + e.what());
   }
 
+  std::lock_guard<std::mutex> lock(*state_mutex_);
+  // Re-check under the commit lock: a concurrent register_site for the
+  // same name may have won the race since the early check above.
+  if (store_.contains(site)) {
+    return Status::failed_precondition("register_site: site '" + site +
+                                       "' is already registered");
+  }
   auto snapshot = std::make_shared<FingerprintSnapshot>(
       site, store_.next_version(site), std::move(x_original),
       std::move(b_mask), layout, std::move(mic.reference_cells),
@@ -93,6 +108,7 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
 }
 
 Status Engine::drop_site(const std::string& site) {
+  std::lock_guard<std::mutex> lock(*state_mutex_);
   deployments_.erase(site);
   localizers_.erase(site);
   return store_.erase_site(site);
@@ -103,6 +119,7 @@ Status Engine::attach_deployment(const std::string& site,
   if (deployment == nullptr) {
     return Status::invalid_argument("attach_deployment: null deployment");
   }
+  std::lock_guard<std::mutex> lock(*state_mutex_);
   if (!store_.contains(site)) {
     return Status::not_found("attach_deployment: unknown site '" + site +
                              "'");
@@ -113,24 +130,26 @@ Status Engine::attach_deployment(const std::string& site,
 }
 
 Result<SnapshotPtr> Engine::snapshot(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(*state_mutex_);
   return store_.latest(site);
 }
 
 Result<SnapshotPtr> Engine::snapshot(const std::string& site,
                                      std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(*state_mutex_);
   return store_.at_version(site, version);
 }
 
 Result<std::vector<std::size_t>> Engine::reference_cells(
     const std::string& site) const {
-  Result<SnapshotPtr> latest = store_.latest(site);
+  Result<SnapshotPtr> latest = snapshot(site);
   if (!latest.ok()) return latest.status();
   return latest.value()->reference_cells();
 }
 
 Status Engine::set_reference_cells(const std::string& site,
                                    std::vector<std::size_t> cells) {
-  Result<SnapshotPtr> latest = store_.latest(site);
+  Result<SnapshotPtr> latest = snapshot(site);
   if (!latest.ok()) return latest.status();
   const SnapshotPtr& snap = latest.value();
   if (cells.empty()) {
@@ -155,8 +174,15 @@ Status Engine::set_reference_cells(const std::string& site,
     return Status::internal(std::string("set_reference_cells: ") + e.what());
   }
 
+  std::lock_guard<std::mutex> lock(*state_mutex_);
+  if (store_.next_version(site) != snap->version() + 1) {
+    return Status::failed_precondition(
+        "set_reference_cells: site '" + site +
+        "' advanced past version " + std::to_string(snap->version()) +
+        " while re-acquiring the correlation (concurrent update)");
+  }
   auto next = std::make_shared<FingerprintSnapshot>(
-      site, store_.next_version(site), snap->database(), snap->mask(),
+      site, snap->version() + 1, snap->database(), snap->mask(),
       snap->layout(), std::move(cells), std::move(z), snap->day());
   return store_.put(std::move(next));
 }
@@ -202,16 +228,19 @@ Result<UpdateResult> Engine::solve_request(const FingerprintSnapshot& snap,
 }
 
 Result<UpdateResult> Engine::reconstruct(const UpdateRequest& request) const {
-  Result<SnapshotPtr> latest = store_.latest(request.site);
+  Result<SnapshotPtr> latest = snapshot(request.site);
   if (!latest.ok()) return latest.status();
   return solve_request(*latest.value(), request);
 }
 
 Result<UpdateResult> Engine::update(const UpdateRequest& request) {
-  Result<SnapshotPtr> latest = store_.latest(request.site);
+  Result<SnapshotPtr> latest = snapshot(request.site);
   if (!latest.ok()) return latest.status();
   const SnapshotPtr& snap = latest.value();
 
+  // The solve — the expensive part — runs outside the state lock; only
+  // the commit below re-acquires it.  Per-site ordering is the caller's
+  // (or update_batch's) responsibility, exactly as before.
   Result<UpdateResult> solved = solve_request(*snap, request);
   if (!solved.ok()) return solved;
   UpdateResult result = std::move(solved).value();
@@ -232,10 +261,19 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
     }
   }
 
+  std::lock_guard<std::mutex> lock(*state_mutex_);
+  // Lost-update guard: the solve ran against snap; if another commit for
+  // this site landed meanwhile (overlapping-site batches from two
+  // threads), silently committing on top would discard it.
+  if (store_.next_version(request.site) != snap->version() + 1) {
+    return Status::failed_precondition(
+        "update: site '" + request.site + "' advanced past version " +
+        std::to_string(snap->version()) +
+        " while this update was solving (concurrent same-site update)");
+  }
   auto next = std::make_shared<FingerprintSnapshot>(
-      request.site, store_.next_version(request.site), result.solver.x_hat,
-      snap->mask(), snap->layout(), std::move(cells), std::move(z),
-      request.day);
+      request.site, snap->version() + 1, result.solver.x_hat, snap->mask(),
+      snap->layout(), std::move(cells), std::move(z), request.day);
   if (const Status put = store_.put(next); !put.ok()) return put;
   result.committed_version = next->version();
   result.snapshot = std::move(next);
@@ -244,35 +282,72 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
 
 std::vector<Result<UpdateResult>> Engine::update_batch(
     const std::vector<UpdateRequest>& requests) {
-  std::vector<Result<UpdateResult>> results;
-  results.reserve(requests.size());
-  for (const UpdateRequest& request : requests) {
-    // In-order application keeps same-site batches exactly equivalent to
-    // sequential update() calls; each request reads the store state its
-    // predecessors committed.
-    results.push_back(update(request));
+  const std::size_t threads = parallel::resolve_threads(config_.threads());
+  if (threads <= 1 || requests.size() <= 1) {
+    std::vector<Result<UpdateResult>> results;
+    results.reserve(requests.size());
+    for (const UpdateRequest& request : requests) {
+      // In-order application keeps same-site batches exactly equivalent to
+      // sequential update() calls; each request reads the store state its
+      // predecessors committed.
+      results.push_back(update(request));
+    }
+    return results;
   }
+
+  // Parallel path: group request indices by site (first-appearance order).
+  // Sites share no mutable state, so running the per-site chains
+  // concurrently — each chain still strictly in request order — commits
+  // exactly the snapshots and returns exactly the Results of the
+  // sequential loop above.
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const auto [it, fresh] = group_of.try_emplace(requests[k].site,
+                                                  groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(k);
+  }
+
+  std::vector<Result<UpdateResult>> results(
+      requests.size(),
+      Result<UpdateResult>(Status::internal("update_batch: not processed")));
+  parallel::parallel_for(
+      threads, groups.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
+        for (std::size_t g = begin; g < end; ++g) {
+          for (const std::size_t k : groups[g]) {
+            results[k] = update(requests[k]);
+          }
+        }
+      });
   return results;
 }
 
-Result<const loc::Localizer*> Engine::localizer_for(
+Result<std::shared_ptr<const loc::Localizer>> Engine::localizer_for(
     const std::string& site) const {
-  Result<SnapshotPtr> latest = store_.latest(site);
-  if (!latest.ok()) return latest.status();
-  const SnapshotPtr& snap = latest.value();
-
-  const auto cached = localizers_.find(site);
-  if (cached != localizers_.end() &&
-      cached->second.version == snap->version()) {
-    return static_cast<const loc::Localizer*>(
-        cached->second.localizer.get());
+  SnapshotPtr snap;
+  const sim::Deployment* deployment = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(*state_mutex_);
+    Result<SnapshotPtr> latest = store_.latest(site);
+    if (!latest.ok()) return latest.status();
+    snap = latest.value();
+    const auto cached = localizers_.find(site);
+    if (cached != localizers_.end() &&
+        cached->second.version == snap->version()) {
+      return cached->second.localizer;
+    }
+    const auto dep = deployments_.find(site);
+    if (dep != deployments_.end()) deployment = dep->second;
   }
 
-  const auto dep = deployments_.find(site);
-  std::unique_ptr<loc::Localizer> built;
+  // Construction (dictionary build, SVR training for kRass) runs outside
+  // the lock; concurrent callers may build twice and the loser's copy is
+  // simply discarded below.
+  std::shared_ptr<const loc::Localizer> built;
   try {
-    built = make_localizer(config_.localizer(), snap->database(),
-                           dep == deployments_.end() ? nullptr : dep->second);
+    built = make_localizer(config_.localizer(), snap->database(), deployment);
   } catch (const std::exception& e) {
     return Status::internal(std::string("localizer construction: ") +
                             e.what());
@@ -282,15 +357,25 @@ Result<const loc::Localizer*> Engine::localizer_for(
         "localize: this localizer needs deployment geometry; call "
         "attach_deployment('" + site + "', ...) first");
   }
+
+  std::lock_guard<std::mutex> lock(*state_mutex_);
   CachedLocalizer& slot = localizers_[site];
-  slot.version = snap->version();
-  slot.localizer = std::move(built);
-  return static_cast<const loc::Localizer*>(slot.localizer.get());
+  if (slot.localizer != nullptr && slot.version == snap->version()) {
+    return slot.localizer;  // lost a same-version race; keep the winner
+  }
+  if (slot.localizer == nullptr || slot.version < snap->version()) {
+    slot.version = snap->version();
+    slot.localizer = std::move(built);
+    return slot.localizer;
+  }
+  // The cache moved past our snapshot while we were building: serve the
+  // stale build to this caller without evicting the newer entry.
+  return built;
 }
 
 Result<loc::LocalizationEstimate> Engine::localize(
     const std::string& site, std::span<const double> measurement) const {
-  Result<SnapshotPtr> latest = store_.latest(site);
+  Result<SnapshotPtr> latest = snapshot(site);
   if (!latest.ok()) return latest.status();
   if (measurement.size() != latest.value()->database().rows()) {
     return Status::invalid_argument(
@@ -298,7 +383,7 @@ Result<loc::LocalizationEstimate> Engine::localize(
         " entries but site '" + site + "' has " +
         std::to_string(latest.value()->database().rows()) + " links");
   }
-  Result<const loc::Localizer*> localizer = localizer_for(site);
+  const auto localizer = localizer_for(site);
   if (!localizer.ok()) return localizer.status();
   try {
     return localizer.value()->localize(measurement);
@@ -310,7 +395,7 @@ Result<loc::LocalizationEstimate> Engine::localize(
 Result<std::vector<loc::LocalizationEstimate>> Engine::localize_batch(
     const std::string& site,
     const std::vector<std::vector<double>>& measurements) const {
-  Result<SnapshotPtr> latest = store_.latest(site);
+  Result<SnapshotPtr> latest = snapshot(site);
   if (!latest.ok()) return latest.status();
   const std::size_t links = latest.value()->database().rows();
   for (std::size_t k = 0; k < measurements.size(); ++k) {
@@ -321,10 +406,26 @@ Result<std::vector<loc::LocalizationEstimate>> Engine::localize_batch(
           site + "' has " + std::to_string(links) + " links");
     }
   }
-  Result<const loc::Localizer*> localizer = localizer_for(site);
+  const auto localizer = localizer_for(site);
   if (!localizer.ok()) return localizer.status();
+  const std::size_t threads = parallel::resolve_threads(config_.threads());
   try {
-    return localizer.value()->localize_batch(measurements);
+    if (threads <= 1 || measurements.size() <= 1) {
+      return localizer.value()->localize_batch(measurements);
+    }
+    // Fan out: measurements are independent and each index owns its
+    // output slot, so the result is identical to the sequential loop.
+    // parallel_for rethrows the first body exception on this thread,
+    // where the catch below converts it to a Status.
+    std::vector<loc::LocalizationEstimate> estimates(measurements.size());
+    parallel::parallel_for(
+        threads, measurements.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
+          for (std::size_t k = begin; k < end; ++k) {
+            estimates[k] = localizer.value()->localize(measurements[k]);
+          }
+        });
+    return estimates;
   } catch (const std::exception& e) {
     return Status::internal(std::string("localize_batch: ") + e.what());
   }

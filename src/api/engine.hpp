@@ -11,12 +11,17 @@
 // Batched entry points (update_batch / localize_batch) amortize per-site
 // state: snapshots and correlation matrices are reused from the store, and
 // the localizer (whose construction builds the matching dictionary) is
-// cached per site version.  They are the seam for future sharding/async
-// work — requests are independent, so a later engine can fan them out.
+// cached per site version.  With EngineConfig::threads(n) > 1 they fan out
+// over iup::parallel: update_batch parallelises across *sites* (same-site
+// requests stay strictly ordered, so batches remain exactly equivalent to
+// sequential update() calls) and localize_batch across measurements.
+// Store and localizer-cache access is mutex-guarded; solver work runs
+// outside the lock.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -94,10 +99,13 @@ class Engine {
   Result<UpdateResult> reconstruct(const UpdateRequest& request) const;
   /// Reconstruct and commit a new snapshot version.
   Result<UpdateResult> update(const UpdateRequest& request);
-  /// Apply many updates (any mix of sites).  Requests are processed in
-  /// order, so same-site requests at increasing timestamps are exactly
-  /// equivalent to sequential update() calls; each request gets its own
-  /// Result and a failed request never blocks the rest of the batch.
+  /// Apply many updates (any mix of sites).  Per site, requests are
+  /// processed in order, so same-site requests at increasing timestamps
+  /// are exactly equivalent to sequential update() calls; each request
+  /// gets its own Result and a failed request never blocks the rest of
+  /// the batch.  With config().threads() > 1 distinct sites are updated
+  /// concurrently — results are bit-identical to the sequential order
+  /// because sites share no mutable state.
   std::vector<Result<UpdateResult>> update_batch(
       const std::vector<UpdateRequest>& requests);
 
@@ -118,16 +126,24 @@ class Engine {
   /// Validate `request` against `snapshot` and run the solver.
   Result<UpdateResult> solve_request(const FingerprintSnapshot& snapshot,
                                      const UpdateRequest& request) const;
-  Result<const loc::Localizer*> localizer_for(const std::string& site) const;
+  /// Shared ownership so an in-flight localize keeps its localizer alive
+  /// even when a concurrent update/drop replaces the cache entry.
+  Result<std::shared_ptr<const loc::Localizer>> localizer_for(
+      const std::string& site) const;
 
   EngineConfig config_;
   std::shared_ptr<const SolverBackend> backend_;
+  /// Guards store_, deployments_ and localizers_ during batched fan-outs.
+  /// Solver and localization work always runs outside this lock.  Held by
+  /// unique_ptr so Engine stays movable (moving an Engine while a batch is
+  /// in flight is a caller bug, as with any container).
+  std::unique_ptr<std::mutex> state_mutex_ = std::make_unique<std::mutex>();
   SnapshotStore store_;
   std::unordered_map<std::string, const sim::Deployment*> deployments_;
 
   struct CachedLocalizer {
     std::uint64_t version = 0;
-    std::unique_ptr<loc::Localizer> localizer;
+    std::shared_ptr<const loc::Localizer> localizer;
   };
   mutable std::unordered_map<std::string, CachedLocalizer> localizers_;
 };

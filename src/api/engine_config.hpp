@@ -71,6 +71,18 @@ class EngineConfig {
     history_limit_ = value;
     return *this;
   }
+  /// Worker threads (0 = all hardware threads).  Sets both the solver
+  /// sweep parallelism (RsvdOptions::threads is overridden when the
+  /// engine builds its backend, regardless of setter order) and the
+  /// update_batch / localize_batch fan-out.  When never called, the
+  /// rsvd().threads value applies throughout.  Results are bit-identical
+  /// for any value: the solver sweep never reorders a floating-point
+  /// reduction, and the batch fan-outs only parallelise independent work
+  /// (distinct sites / distinct measurements).
+  EngineConfig& threads(std::size_t value) {
+    threads_ = value;
+    return *this;
+  }
 
   const core::RsvdOptions& rsvd() const { return rsvd_; }
   const core::LrrOptions& lrr() const { return lrr_; }
@@ -82,8 +94,14 @@ class EngineConfig {
   }
   LocalizerKind localizer() const { return localizer_; }
   std::size_t history_limit() const { return history_limit_; }
+  std::size_t threads() const {
+    return threads_ == kInheritThreads ? rsvd_.threads : threads_;
+  }
 
  private:
+  /// Sentinel: threads() inherits rsvd().threads until explicitly set.
+  static constexpr std::size_t kInheritThreads =
+      static_cast<std::size_t>(-1);
   core::RsvdOptions rsvd_;
   core::LrrOptions lrr_;
   core::MicStrategy mic_strategy_ = core::MicStrategy::kQrcp;
@@ -92,6 +110,7 @@ class EngineConfig {
   std::shared_ptr<const SolverBackend> solver_backend_;
   LocalizerKind localizer_ = LocalizerKind::kOmp;
   std::size_t history_limit_ = 0;
+  std::size_t threads_ = kInheritThreads;
 };
 
 }  // namespace iup::api

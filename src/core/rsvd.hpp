@@ -42,6 +42,10 @@ struct RsvdOptions {
                                ///< scale ||X_B||_F^2
   bool use_constraint1 = true;
   bool use_constraint2 = true;
+  /// Worker threads for the per-column / per-row sweep (0 = all hardware
+  /// threads).  Results are bit-identical for any value: every column/row
+  /// owns its output slot and no floating-point reduction is reordered.
+  std::size_t threads = 1;
   Constraint2Mode c2_mode = Constraint2Mode::kGaussSeidel;
   FactorInit init = FactorInit::kWarmStart;
   std::uint64_t init_seed = 7;  ///< seed for kRandom initialisation

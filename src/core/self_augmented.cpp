@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/constraints.hpp"
@@ -9,6 +10,7 @@
 #include "linalg/norms.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vec.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 
 // Two index repairs relative to the published Algorithm 1 (documented in
@@ -23,18 +25,42 @@
 //      absolute term on the first link is dropped (only genuine
 //      adjacent-link differences are penalised); kPaperLiteral keeps the
 //      published curvature including the first-row term.
+//
+// Parallel sweep invariants (the thread-count-determinism guarantee):
+//  * every column j of the R-update / row i of the L-update writes only
+//    its own output row and its chunk's workspace;
+//  * all shared inputs (L, R_prev, X_D, Gram products, G, H) are read-only
+//    during the fan-out;
+//  * no floating-point reduction crosses an index boundary, so the chunk
+//    partition cannot reorder any accumulation.
 namespace iup::core {
 
 namespace {
 
 // theta_j columns are stored as rows of R; these helpers keep the algebra
 // readable.
+//
+// The normal matrices Q are symmetric, so the outer-product accumulation
+// only fills the upper triangle (half the flops of the dense update);
+// symmetrize_lower() mirrors it once per solve.  The mirrored Q is exactly
+// symmetric and fully deterministic (in particular thread-count
+// invariant); it may differ from a dense two-triangle accumulation at ulp
+// level, because a weighted lower entry would round as (w*v[b])*v[a]
+// rather than the mirrored (w*v[a])*v[b].
 void add_outer(linalg::Matrix& q, std::span<const double> v, double weight) {
   const std::size_t n = v.size();
   for (std::size_t a = 0; a < n; ++a) {
     const double va = weight * v[a];
     if (va == 0.0) continue;
-    for (std::size_t b = 0; b < n; ++b) q(a, b) += va * v[b];
+    auto q_row = q.row_span(a);
+    for (std::size_t b = a; b < n; ++b) q_row[b] += va * v[b];
+  }
+}
+
+void symmetrize_lower(linalg::Matrix& q) {
+  const std::size_t n = q.rows();
+  for (std::size_t a = 1; a < n; ++a) {
+    for (std::size_t b = 0; b < a; ++b) q(a, b) = q(b, a);
   }
 }
 
@@ -45,6 +71,41 @@ double row_norm_sq(const linalg::Matrix& m, std::size_t row) {
 }
 
 }  // namespace
+
+/// Scratch owned by one worker chunk.  Everything is overwritten from
+/// scratch for every index, so reuse across indices (and across sweeps)
+/// cannot leak state — a precondition for thread-count invariance.
+struct ThreadWorkspace {
+  linalg::Matrix q;         ///< rr x rr normal-equation matrix
+  std::vector<double> diag;  ///< rr, solve_spd_into retry scratch
+  // L-update Constraint-2 scratch (Theta_i stored transposed: row u of
+  // theta_t is the factor of band cell (i, u) — a contiguous copy of a row
+  // of R instead of a strided column write).
+  linalg::Matrix theta_t;  ///< slots x rr
+  linalg::Matrix tg;       ///< slots x rr: G^T Theta^T
+  linalg::Matrix gbuf;     ///< rr x rr: (Theta G)(Theta G)^T
+  linalg::Matrix ttt;      ///< rr x rr: Theta Theta^T
+  std::vector<double> neighbor_sum;  ///< slots
+  std::vector<double> contrib;       ///< rr
+};
+
+struct SweepContext {
+  std::size_t threads = 1;
+  // Shared read-only sweep products.
+  linalg::Matrix ltl;     ///< L^T L
+  linalg::Matrix rtr;     ///< R^T R
+  linalg::Matrix xd_cur;  ///< current largely-decrease estimate
+  linalg::Matrix xdg;     ///< X_D * G
+  // Sweep outputs (double-buffered against l_hat / r_hat in solve()).
+  linalg::Matrix r_next;
+  linalg::Matrix l_next;
+  // Objective scratch.
+  linalg::Matrix x_hat;
+  linalg::Matrix xd_obj;
+  linalg::Matrix xdg_obj;
+  linalg::Matrix hxd_obj;
+  std::vector<ThreadWorkspace> ws;
+};
 
 SelfAugmentedRsvd::SelfAugmentedRsvd(BandLayout layout, RsvdOptions options)
     : layout_(layout), options_(options) {
@@ -58,6 +119,7 @@ SelfAugmentedRsvd::SelfAugmentedRsvd(BandLayout layout, RsvdOptions options)
     if (options_.c2_mode == Constraint2Mode::kGaussSeidel) {
       h_(0, 0) = 0.0;  // repair (2): no absolute term on the first link
     }
+    g_t_ = g_.transpose();
   }
 }
 
@@ -152,26 +214,38 @@ SelfAugmentedRsvd::Weights SelfAugmentedRsvd::effective_weights(
 
 double SelfAugmentedRsvd::objective(const RsvdProblem& problem,
                                     const Weights& w, const linalg::Matrix& l,
-                                    const linalg::Matrix& r) const {
-  const linalg::Matrix x_hat = l * r.transpose();
+                                    const linalg::Matrix& r,
+                                    SweepContext& ctx) const {
+  linalg::multiply_transposed_into(l, r, ctx.x_hat);  // X_hat = L R^T
   double v = options_.lambda * (linalg::frobenius_norm_sq(l) +
                                 linalg::frobenius_norm_sq(r));
-  v += linalg::frobenius_norm_sq(problem.b.hadamard(x_hat) - problem.x_b);
+  v += linalg::masked_diff_norm_sq(problem.b, ctx.x_hat, problem.x_b);
   if (w.w1 > 0.0) {
-    v += w.w1 * linalg::frobenius_norm_sq(x_hat - problem.p);
+    v += w.w1 * linalg::diff_norm_sq(ctx.x_hat, problem.p);
   }
   if (options_.use_constraint2 && (w.w2 > 0.0 || w.w3 > 0.0)) {
-    const linalg::Matrix xd = extract_largely_decrease(x_hat, layout_);
-    if (w.w2 > 0.0) v += w.w2 * linalg::frobenius_norm_sq(xd * g_);
-    if (w.w3 > 0.0) v += w.w3 * linalg::frobenius_norm_sq(h_ * xd);
+    ctx.xd_obj.resize(layout_.links, layout_.slots);
+    for (std::size_t i = 0; i < layout_.links; ++i) {
+      for (std::size_t u = 0; u < layout_.slots; ++u) {
+        ctx.xd_obj(i, u) = ctx.x_hat(i, layout_.cell(i, u));
+      }
+    }
+    if (w.w2 > 0.0) {
+      linalg::multiply_into(ctx.xd_obj, g_, ctx.xdg_obj);
+      v += w.w2 * linalg::frobenius_norm_sq(ctx.xdg_obj);
+    }
+    if (w.w3 > 0.0) {
+      linalg::multiply_into(h_, ctx.xd_obj, ctx.hxd_obj);
+      v += w.w3 * linalg::frobenius_norm_sq(ctx.hxd_obj);
+    }
   }
   return v;
 }
 
-linalg::Matrix SelfAugmentedRsvd::update_r(const RsvdProblem& problem,
-                                           const Weights& w,
-                                           const linalg::Matrix& l,
-                                           const linalg::Matrix& r_prev) const {
+void SelfAugmentedRsvd::update_r(const RsvdProblem& problem, const Weights& w,
+                                 const linalg::Matrix& l,
+                                 const linalg::Matrix& r_prev,
+                                 SweepContext& ctx) const {
   const std::size_t m = l.rows();
   const std::size_t rr = l.cols();
   const std::size_t n = problem.b.cols();
@@ -179,96 +253,107 @@ linalg::Matrix SelfAugmentedRsvd::update_r(const RsvdProblem& problem,
   const bool gauss_seidel =
       options_.c2_mode == Constraint2Mode::kGaussSeidel;
 
-  const linalg::Matrix ltl = l.gram();
+  linalg::gram_into(l, ctx.ltl);
 
   // Current largely-decrease estimate (from the previous R) for the
   // Gauss-Seidel cross terms of Constraint 2.
-  linalg::Matrix xd_cur;
-  linalg::Matrix xdg;  // X_D * G
   if (c2) {
-    xd_cur = linalg::Matrix(layout_.links, layout_.slots);
+    ctx.xd_cur.resize(layout_.links, layout_.slots);
     for (std::size_t i = 0; i < layout_.links; ++i) {
       for (std::size_t u = 0; u < layout_.slots; ++u) {
-        xd_cur(i, u) =
+        ctx.xd_cur(i, u) =
             linalg::dot(l.row_span(i), r_prev.row_span(layout_.cell(i, u)));
       }
     }
-    if (gauss_seidel && w.w2 > 0.0) xdg = xd_cur * g_;
+    if (gauss_seidel && w.w2 > 0.0) {
+      linalg::multiply_into(ctx.xd_cur, g_, ctx.xdg);
+    }
   }
 
-  linalg::Matrix r_new(n, rr);
-  std::vector<double> c(rr);
-  for (std::size_t j = 0; j < n; ++j) {
-    linalg::Matrix q(rr, rr);
-    for (std::size_t a = 0; a < rr; ++a) q(a, a) = options_.lambda;
-    std::fill(c.begin(), c.end(), 0.0);
+  ctx.r_next.resize(n, rr);
+  parallel::parallel_for(ctx.threads, n, [&](std::size_t begin,
+                                             std::size_t end,
+                                             std::size_t slot) {
+    ThreadWorkspace& ws = ctx.ws[slot];
+    ws.q.resize(rr, rr);
+    ws.diag.resize(rr);
+    for (std::size_t j = begin; j < end; ++j) {
+      linalg::Matrix& q = ws.q;
+      q.fill(0.0);
+      for (std::size_t a = 0; a < rr; ++a) q(a, a) = options_.lambda;
+      const auto c = ctx.r_next.row_span(j);
+      std::fill(c.begin(), c.end(), 0.0);
 
-    // Data term: sum_i b_ij (l_i theta - x_b(i,j))^2.
-    for (std::size_t i = 0; i < m; ++i) {
-      if (problem.b(i, j) == 0.0) continue;
-      add_outer(q, l.row_span(i), 1.0);
-      linalg::axpy(problem.x_b(i, j), l.row_span(i), c);
-    }
-
-    // Constraint 1: w1 ||L theta - p_j||^2 over all links.
-    if (w.w1 > 0.0) {
-      q += w.w1 * ltl;
+      // Data term: sum_i b_ij (l_i theta - x_b(i,j))^2.
       for (std::size_t i = 0; i < m; ++i) {
-        linalg::axpy(w.w1 * problem.p(i, j), l.row_span(i), c);
+        if (problem.b(i, j) == 0.0) continue;
+        add_outer(q, l.row_span(i), 1.0);
+        linalg::axpy(problem.x_b(i, j), l.row_span(i), c);
       }
-    }
 
-    // Constraint 2: only the band entry (ii, jj) of column j is a
-    // largely-decrease element.
-    if (c2) {
-      const std::size_t ii = layout_.band_of(j);
-      const std::size_t jj = layout_.slot_of(j);
-      const auto l_band = l.row_span(ii);
-      if (w.w2 > 0.0) {
-        const double g_norm_sq = row_norm_sq(g_, jj);
-        add_outer(q, l_band, w.w2 * g_norm_sq);
-        if (gauss_seidel) {
-          // Cross term with the neighbouring slots of the current estimate:
-          // sum_q (XD*G)(ii,q) G(jj,q) with the self contribution removed.
-          double cross = 0.0;
-          for (std::size_t qq = 0; qq < layout_.slots; ++qq) {
-            const double others =
-                xdg(ii, qq) - xd_cur(ii, jj) * g_(jj, qq);
-            cross += others * g_(jj, qq);
-          }
-          linalg::axpy(-w.w2 * cross, l_band, c);
+      // Constraint 1: w1 ||L theta - p_j||^2 over all links.
+      if (w.w1 > 0.0) {
+        linalg::add_scaled(q, w.w1, ctx.ltl);
+        for (std::size_t i = 0; i < m; ++i) {
+          linalg::axpy(w.w1 * problem.p(i, j), l.row_span(i), c);
         }
       }
-      if (w.w3 > 0.0) {
-        if (gauss_seidel) {
-          double count = 0.0, neighbor_sum = 0.0;
-          if (ii > 0) {
-            count += 1.0;
-            neighbor_sum += xd_cur(ii - 1, jj);
+
+      // Constraint 2: only the band entry (ii, jj) of column j is a
+      // largely-decrease element.
+      if (c2) {
+        const std::size_t ii = layout_.band_of(j);
+        const std::size_t jj = layout_.slot_of(j);
+        const auto l_band = l.row_span(ii);
+        if (w.w2 > 0.0) {
+          const double g_norm_sq = row_norm_sq(g_, jj);
+          add_outer(q, l_band, w.w2 * g_norm_sq);
+          if (gauss_seidel) {
+            // Cross term with the neighbouring slots of the current
+            // estimate: sum_q (XD*G)(ii,q) G(jj,q) with the self
+            // contribution removed.
+            double cross = 0.0;
+            for (std::size_t qq = 0; qq < layout_.slots; ++qq) {
+              const double others =
+                  ctx.xdg(ii, qq) - ctx.xd_cur(ii, jj) * g_(jj, qq);
+              cross += others * g_(jj, qq);
+            }
+            linalg::axpy(-w.w2 * cross, l_band, c);
           }
-          if (ii + 1 < layout_.links) {
-            count += 1.0;
-            neighbor_sum += xd_cur(ii + 1, jj);
+        }
+        if (w.w3 > 0.0) {
+          if (gauss_seidel) {
+            double count = 0.0, neighbor_sum = 0.0;
+            if (ii > 0) {
+              count += 1.0;
+              neighbor_sum += ctx.xd_cur(ii - 1, jj);
+            }
+            if (ii + 1 < layout_.links) {
+              count += 1.0;
+              neighbor_sum += ctx.xd_cur(ii + 1, jj);
+            }
+            add_outer(q, l_band, w.w3 * count);
+            linalg::axpy(w.w3 * neighbor_sum, l_band, c);
+          } else {
+            // Published curvature: ||H(:, ii)||^2, repair (1) applied.
+            const double h_col_sq = ii + 1 < layout_.links ? 2.0 : 1.0;
+            add_outer(q, l_band, w.w3 * h_col_sq);
           }
-          add_outer(q, l_band, w.w3 * count);
-          linalg::axpy(w.w3 * neighbor_sum, l_band, c);
-        } else {
-          // Published curvature: ||H(:, ii)||^2, repair (1) applied.
-          const double h_col_sq = ii + 1 < layout_.links ? 2.0 : 1.0;
-          add_outer(q, l_band, w.w3 * h_col_sq);
         }
       }
-    }
 
-    r_new.set_row(j, linalg::solve_spd(q, c));
-  }
-  return r_new;
+      // Solve in place: the right-hand side was built directly in the
+      // output row, so the solution lands there without a copy.
+      symmetrize_lower(q);
+      linalg::solve_spd_into(q, c, ws.diag);
+    }
+  });
 }
 
-linalg::Matrix SelfAugmentedRsvd::update_l(const RsvdProblem& problem,
-                                           const Weights& w,
-                                           const linalg::Matrix& l_prev,
-                                           const linalg::Matrix& r) const {
+void SelfAugmentedRsvd::update_l(const RsvdProblem& problem, const Weights& w,
+                                 const linalg::Matrix& l_prev,
+                                 const linalg::Matrix& r,
+                                 SweepContext& ctx) const {
   const std::size_t m = problem.b.rows();
   const std::size_t rr = r.cols();
   const std::size_t n = r.rows();
@@ -276,89 +361,110 @@ linalg::Matrix SelfAugmentedRsvd::update_l(const RsvdProblem& problem,
   const bool gauss_seidel =
       options_.c2_mode == Constraint2Mode::kGaussSeidel;
 
-  const linalg::Matrix rtr = r.gram();
+  linalg::gram_into(r, ctx.rtr);
 
   // Current X_D (from l_prev and the fresh r) for the similarity cross
   // terms; the continuity term is exactly quadratic per row and needs no
   // cross terms.
-  linalg::Matrix xd_cur;
   if (c2) {
-    xd_cur = linalg::Matrix(layout_.links, layout_.slots);
+    ctx.xd_cur.resize(layout_.links, layout_.slots);
     for (std::size_t i = 0; i < layout_.links; ++i) {
       for (std::size_t u = 0; u < layout_.slots; ++u) {
-        xd_cur(i, u) = linalg::dot(l_prev.row_span(i),
-                                   r.row_span(layout_.cell(i, u)));
+        ctx.xd_cur(i, u) = linalg::dot(l_prev.row_span(i),
+                                       r.row_span(layout_.cell(i, u)));
       }
     }
   }
 
-  linalg::Matrix l_new(m, rr);
-  std::vector<double> c(rr);
-  for (std::size_t i = 0; i < m; ++i) {
-    linalg::Matrix q(rr, rr);
-    for (std::size_t a = 0; a < rr; ++a) q(a, a) = options_.lambda;
-    std::fill(c.begin(), c.end(), 0.0);
-
-    for (std::size_t j = 0; j < n; ++j) {
-      if (problem.b(i, j) == 0.0) continue;
-      add_outer(q, r.row_span(j), 1.0);
-      linalg::axpy(problem.x_b(i, j), r.row_span(j), c);
-    }
-
-    if (w.w1 > 0.0) {
-      q += w.w1 * rtr;
-      for (std::size_t j = 0; j < n; ++j) {
-        linalg::axpy(w.w1 * problem.p(i, j), r.row_span(j), c);
-      }
-    }
-
+  ctx.l_next.resize(m, rr);
+  parallel::parallel_for(ctx.threads, m, [&](std::size_t begin,
+                                             std::size_t end,
+                                             std::size_t slot) {
+    ThreadWorkspace& ws = ctx.ws[slot];
+    ws.q.resize(rr, rr);
+    ws.diag.resize(rr);
     if (c2) {
-      // Theta_i: rr x S matrix whose columns are the factors of band i.
-      linalg::Matrix theta(rr, layout_.slots);
-      for (std::size_t u = 0; u < layout_.slots; ++u) {
-        theta.set_col(u, r.row(layout_.cell(i, u)));
-      }
-      if (w.w2 > 0.0) {
-        if (gauss_seidel) {
-          // Row i of X_D*G is (l_i Theta_i) G: exactly quadratic in l_i.
-          const linalg::Matrix tg = theta * g_;
-          q += w.w2 * tg.transpose().gram();  // (Theta G)(Theta G)^T
-        } else {
-          for (std::size_t u = 0; u < layout_.slots; ++u) {
-            add_outer(q, theta.col(u), w.w2 * row_norm_sq(g_, u));
-          }
-        }
-      }
-      if (w.w3 > 0.0) {
-        const linalg::Matrix ttt = theta.transpose().gram();  // Theta Theta^T
-        if (gauss_seidel) {
-          double count = 0.0;
-          std::vector<double> neighbor_sum(layout_.slots, 0.0);
-          if (i > 0) {
-            count += 1.0;
-            for (std::size_t u = 0; u < layout_.slots; ++u) {
-              neighbor_sum[u] += xd_cur(i - 1, u);
-            }
-          }
-          if (i + 1 < layout_.links) {
-            count += 1.0;
-            for (std::size_t u = 0; u < layout_.slots; ++u) {
-              neighbor_sum[u] += xd_cur(i + 1, u);
-            }
-          }
-          q += (w.w3 * count) * ttt;
-          const auto contrib = theta * std::span<const double>(neighbor_sum);
-          linalg::axpy(w.w3, contrib, c);
-        } else {
-          const double h_col_sq = i + 1 < layout_.links ? 2.0 : 1.0;
-          q += (w.w3 * h_col_sq) * ttt;
-        }
-      }
+      ws.theta_t.resize(layout_.slots, rr);
+      ws.neighbor_sum.resize(layout_.slots);
+      ws.contrib.resize(rr);
     }
+    for (std::size_t i = begin; i < end; ++i) {
+      linalg::Matrix& q = ws.q;
+      q.fill(0.0);
+      for (std::size_t a = 0; a < rr; ++a) q(a, a) = options_.lambda;
+      const auto c = ctx.l_next.row_span(i);
+      std::fill(c.begin(), c.end(), 0.0);
 
-    l_new.set_row(i, linalg::solve_spd(q, c));
-  }
-  return l_new;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (problem.b(i, j) == 0.0) continue;
+        add_outer(q, r.row_span(j), 1.0);
+        linalg::axpy(problem.x_b(i, j), r.row_span(j), c);
+      }
+
+      if (w.w1 > 0.0) {
+        linalg::add_scaled(q, w.w1, ctx.rtr);
+        for (std::size_t j = 0; j < n; ++j) {
+          linalg::axpy(w.w1 * problem.p(i, j), r.row_span(j), c);
+        }
+      }
+
+      if (c2) {
+        // Theta_i stored transposed: row u of theta_t is the factor of
+        // band cell (i, u) — one contiguous copy per slot.
+        for (std::size_t u = 0; u < layout_.slots; ++u) {
+          r.copy_row_into(layout_.cell(i, u), ws.theta_t.row_span(u));
+        }
+        if (w.w2 > 0.0) {
+          if (gauss_seidel) {
+            // Row i of X_D*G is (l_i Theta_i) G: exactly quadratic in l_i
+            // with curvature (Theta G)(Theta G)^T = gram(G^T Theta^T).
+            linalg::multiply_into(g_t_, ws.theta_t, ws.tg);
+            linalg::gram_into(ws.tg, ws.gbuf);
+            linalg::add_scaled(q, w.w2, ws.gbuf);
+          } else {
+            for (std::size_t u = 0; u < layout_.slots; ++u) {
+              add_outer(q, ws.theta_t.row_span(u),
+                        w.w2 * row_norm_sq(g_, u));
+            }
+          }
+        }
+        if (w.w3 > 0.0) {
+          linalg::gram_into(ws.theta_t, ws.ttt);  // Theta Theta^T
+          if (gauss_seidel) {
+            double count = 0.0;
+            std::fill(ws.neighbor_sum.begin(), ws.neighbor_sum.end(), 0.0);
+            if (i > 0) {
+              count += 1.0;
+              for (std::size_t u = 0; u < layout_.slots; ++u) {
+                ws.neighbor_sum[u] += ctx.xd_cur(i - 1, u);
+              }
+            }
+            if (i + 1 < layout_.links) {
+              count += 1.0;
+              for (std::size_t u = 0; u < layout_.slots; ++u) {
+                ws.neighbor_sum[u] += ctx.xd_cur(i + 1, u);
+              }
+            }
+            linalg::add_scaled(q, w.w3 * count, ws.ttt);
+            // contrib = Theta * neighbor_sum, accumulated row by row of
+            // theta_t (same ascending-u order as the dense product).
+            std::fill(ws.contrib.begin(), ws.contrib.end(), 0.0);
+            for (std::size_t u = 0; u < layout_.slots; ++u) {
+              linalg::axpy(ws.neighbor_sum[u], ws.theta_t.row_span(u),
+                           ws.contrib);
+            }
+            linalg::axpy(w.w3, ws.contrib, c);
+          } else {
+            const double h_col_sq = i + 1 < layout_.links ? 2.0 : 1.0;
+            linalg::add_scaled(q, w.w3 * h_col_sq, ws.ttt);
+          }
+        }
+      }
+
+      symmetrize_lower(q);
+      linalg::solve_spd_into(q, c, ws.diag);
+    }
+  });
 }
 
 RsvdResult SelfAugmentedRsvd::solve(const RsvdProblem& problem) const {
@@ -382,6 +488,10 @@ RsvdResult SelfAugmentedRsvd::solve(const RsvdProblem& problem) const {
   linalg::Matrix r_hat(problem.b.cols(), l_hat.cols());
   const Weights w = effective_weights(problem);
 
+  SweepContext ctx;
+  ctx.threads = parallel::resolve_threads(options_.threads);
+  ctx.ws.resize(ctx.threads);
+
   RsvdResult out;
   double best_v = std::numeric_limits<double>::infinity();
   double v_initial = -1.0;
@@ -389,35 +499,35 @@ RsvdResult SelfAugmentedRsvd::solve(const RsvdProblem& problem) const {
       std::max(linalg::frobenius_norm_sq(problem.x_b), 1.0);
 
   for (std::size_t it = 0; it < options_.max_iters; ++it) {
-    const linalg::Matrix r_next = update_r(problem, w, l_hat, r_hat);
-    linalg::Matrix l_next = update_l(problem, w, l_hat, r_next);
-    linalg::Matrix r_balanced = r_next;
+    update_r(problem, w, l_hat, r_hat, ctx);
+    update_l(problem, w, l_hat, ctx.r_next, ctx);
     // Rebalance the factors: scaling L by s and R by 1/s leaves the
     // product unchanged and, at s = (||R||/||L||)^(1/2), minimises the
     // lambda regulariser — a strict objective improvement that also keeps
     // the per-column systems well conditioned.
     {
-      const double ln = linalg::frobenius_norm(l_next);
-      const double rn = linalg::frobenius_norm(r_balanced);
+      const double ln = linalg::frobenius_norm(ctx.l_next);
+      const double rn = linalg::frobenius_norm(ctx.r_next);
       if (ln > 1e-12 && rn > 1e-12) {
         const double s = std::sqrt(rn / ln);
-        l_next *= s;
-        r_balanced /= s;
+        ctx.l_next *= s;
+        ctx.r_next /= s;
       }
     }
-    const linalg::Matrix& r_next_ref = r_balanced;
-    const double v = objective(problem, w, l_next, r_next_ref);
+    const double v = objective(problem, w, ctx.l_next, ctx.r_next, ctx);
     out.objective_history.push_back(v);
     out.iterations = it + 1;
     if (v_initial < 0.0) v_initial = std::max(v, 1e-12);
 
     if (v <= best_v) {
       best_v = v;
-      out.l = l_next;
-      out.r = r_next_ref;
+      out.l = ctx.l_next;
+      out.r = ctx.r_next;
     }
-    l_hat = l_next;
-    r_hat = r_next_ref;
+    // Capacity-reusing copies: after the first iteration these assignments
+    // never touch the heap.
+    l_hat = ctx.l_next;
+    r_hat = ctx.r_next;
 
     // Algorithm 1 lines 6-8: stop refreshing once v falls below v_th,
     // interpreted relative to the data scale ||X_B||_F^2.
@@ -437,7 +547,7 @@ RsvdResult SelfAugmentedRsvd::solve(const RsvdProblem& problem) const {
     out.l = l_hat;
     out.r = r_hat;
   }
-  out.x_hat = out.l * out.r.transpose();
+  linalg::multiply_transposed_into(out.l, out.r, out.x_hat);
   return out;
 }
 

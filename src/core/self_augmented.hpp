@@ -13,12 +13,24 @@
 // routine (Eq. 24).  Two published index bugs are repaired and documented
 // in self_augmented.cpp; the ablation bench compares the literal and the
 // repaired (Gauss-Seidel) treatment of Constraint 2.
+//
+// Performance: the per-column and per-row solves are independent, so the
+// sweep fans out over RsvdOptions::threads via iup::parallel with
+// bit-identical results for any thread count (each index owns its output
+// row; no reduction is reordered).  All sweep scratch lives in a
+// SweepContext of caller-owned buffers, so steady-state iterations perform
+// zero heap allocations.
 #pragma once
 
 #include "core/fingerprint.hpp"
 #include "core/rsvd.hpp"
 
 namespace iup::core {
+
+/// Reusable buffers for one solve() call: factor iterates, shared sweep
+/// products and one workspace per worker thread.  Defined in
+/// self_augmented.cpp; stack-allocated by solve().
+struct SweepContext;
 
 class SelfAugmentedRsvd {
  public:
@@ -45,23 +57,26 @@ class SelfAugmentedRsvd {
   linalg::Matrix initial_factor(const RsvdProblem& problem) const;
   Weights effective_weights(const RsvdProblem& problem) const;
   double objective(const RsvdProblem& problem, const Weights& w,
-                   const linalg::Matrix& l, const linalg::Matrix& r) const;
+                   const linalg::Matrix& l, const linalg::Matrix& r,
+                   SweepContext& ctx) const;
 
   /// Closed-form update of every column of Theta = R^T with L fixed
-  /// (Algorithm 1 line 3 / Eq. 24).
-  linalg::Matrix update_r(const RsvdProblem& problem, const Weights& w,
-                          const linalg::Matrix& l,
-                          const linalg::Matrix& r_prev) const;
+  /// (Algorithm 1 line 3 / Eq. 24).  Writes ctx.r_next.
+  void update_r(const RsvdProblem& problem, const Weights& w,
+                const linalg::Matrix& l, const linalg::Matrix& r_prev,
+                SweepContext& ctx) const;
 
   /// Closed-form update of every row of L with R fixed (line 4).
-  linalg::Matrix update_l(const RsvdProblem& problem, const Weights& w,
-                          const linalg::Matrix& l_prev,
-                          const linalg::Matrix& r) const;
+  /// Writes ctx.l_next.
+  void update_l(const RsvdProblem& problem, const Weights& w,
+                const linalg::Matrix& l_prev, const linalg::Matrix& r,
+                SweepContext& ctx) const;
 
   BandLayout layout_;
   RsvdOptions options_;
-  linalg::Matrix g_;  ///< continuity matrix (S x S)
-  linalg::Matrix h_;  ///< similarity matrix (M x M)
+  linalg::Matrix g_;    ///< continuity matrix (S x S)
+  linalg::Matrix g_t_;  ///< G^T, precomputed for the L-update cross terms
+  linalg::Matrix h_;    ///< similarity matrix (M x M)
 };
 
 }  // namespace iup::core

@@ -1,5 +1,7 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,66 +9,179 @@
 
 namespace iup::linalg {
 
+namespace {
+
+std::atomic<std::uint64_t> g_cholesky_failures{0};
+std::atomic<std::uint64_t> g_bump_recoveries{0};
+std::atomic<std::uint64_t> g_lu_fallbacks{0};
+
+// Restore the lower triangle and diagonal of a partially-factored matrix
+// from the untouched strict upper triangle and the saved diagonal, then
+// add `bump` to every diagonal entry.
+void restore_symmetric(Matrix& a, std::span<const double> diag, double bump) {
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) a(i, j) = a(j, i);
+    a(i, i) = diag[i] + bump;
+  }
+}
+
+// Factor `a` in place with the deterministic diagonal-bump retry policy
+// (see solve_spd_into's contract).  `diag_scratch` receives the original
+// diagonal.  Returns true when `a` holds a usable Cholesky factor
+// (counting failures/recoveries); on false, `a` is restored to the
+// symmetrised unbumped input and the caller pays for LU.
+bool factor_spd_with_retry(Matrix& a, std::span<double> diag_scratch) {
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) diag_scratch[i] = a(i, i);
+  if (cholesky_in_place(a)) return true;
+  g_cholesky_failures.fetch_add(1, std::memory_order_relaxed);
+
+  double mean_diag = 0.0;
+  for (const double d : diag_scratch) mean_diag += std::abs(d);
+  mean_diag = n > 0 ? mean_diag / static_cast<double>(n) : 0.0;
+  // The bump stays relative to the matrix scale; the fallback to 1.0 only
+  // applies when the diagonal is entirely zero (where a relative bump
+  // would be a no-op and LU is the answer anyway).
+  const double scale = mean_diag > 0.0 ? mean_diag : 1.0;
+  for (const double rel_bump : {1e-10, 1e-6}) {
+    restore_symmetric(a, diag_scratch, rel_bump * scale);
+    if (cholesky_in_place(a)) {
+      g_bump_recoveries.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  restore_symmetric(a, diag_scratch, 0.0);
+  return false;
+}
+
+}  // namespace
+
 std::optional<Matrix> cholesky(const Matrix& a) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("cholesky: matrix must be square");
   }
-  const std::size_t n = a.rows();
-  Matrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
-    l(j, j) = std::sqrt(diag);
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-      l(i, j) = acc / l(j, j);
-    }
+  Matrix l = a;
+  if (!cholesky_in_place(l)) return std::nullopt;
+  // Callers of the allocating API expect a clean lower-triangular matrix.
+  const std::size_t n = l.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
   }
   return l;
 }
 
+bool cholesky_in_place(Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky_in_place: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= a(i, k) * a(j, k);
+      a(i, j) = acc / ljj;
+    }
+  }
+  return true;
+}
+
 std::vector<double> cholesky_solve(const Matrix& l,
                                    std::span<const double> b) {
-  const std::size_t n = l.rows();
-  if (b.size() != n) {
+  if (b.size() != l.rows()) {
     throw std::invalid_argument("cholesky_solve: size mismatch");
   }
-  // L y = b.
-  std::vector<double> y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
-    y[i] = acc / l(i, i);
-  }
-  // L^T x = y.
-  std::vector<double> x(n);
-  for (std::size_t i = n; i-- > 0;) {
-    double acc = y[i];
-    for (std::size_t j = i + 1; j < n; ++j) acc -= l(j, i) * x[j];
-    x[i] = acc / l(i, i);
-  }
+  std::vector<double> x(b.begin(), b.end());
+  cholesky_solve_in_place(l, x);
   return x;
 }
 
+void cholesky_solve_in_place(const Matrix& l, std::span<double> bx) {
+  const std::size_t n = l.rows();
+  if (bx.size() != n) {
+    throw std::invalid_argument("cholesky_solve_in_place: size mismatch");
+  }
+  // L y = b: forward substitution, y overwrites b entry by entry.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = bx[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * bx[j];
+    bx[i] = acc / l(i, i);
+  }
+  // L^T x = y: back substitution, x overwrites y.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = bx[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= l(j, i) * bx[j];
+    bx[i] = acc / l(i, i);
+  }
+}
+
+void solve_spd_into(Matrix& a, std::span<double> bx,
+                    std::span<double> diag_scratch) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    throw std::invalid_argument("solve_spd_into: matrix must be square");
+  }
+  if (bx.size() != n || diag_scratch.size() != n) {
+    throw std::invalid_argument("solve_spd_into: size mismatch");
+  }
+  if (factor_spd_with_retry(a, diag_scratch)) {
+    cholesky_solve_in_place(a, bx);
+    return;
+  }
+
+  // Genuinely indefinite (or wildly ill-conditioned): pay for LU with
+  // partial pivoting on the restored matrix.  This path allocates, but it
+  // is rare by construction and now visible in the stats.
+  g_lu_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<double> x = solve(a, bx);
+  std::copy(x.begin(), x.end(), bx.begin());
+}
+
 std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
-  if (auto l = cholesky(a)) return cholesky_solve(*l, b);
-  return solve(a, b);
+  Matrix work = a;
+  std::vector<double> bx(b.begin(), b.end());
+  std::vector<double> diag(a.rows());
+  solve_spd_into(work, bx, diag);
+  return bx;
 }
 
 Matrix solve_spd(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("solve_spd: row count mismatch");
   }
-  if (auto l = cholesky(a)) {
+  Matrix work = a;
+  std::vector<double> diag(a.rows());
+  if (factor_spd_with_retry(work, diag)) {
     Matrix x(a.cols(), b.cols());
+    std::vector<double> col(b.rows());
     for (std::size_t j = 0; j < b.cols(); ++j) {
-      x.set_col(j, cholesky_solve(*l, b.col(j)));
+      b.copy_col_into(j, col);
+      cholesky_solve_in_place(work, col);
+      x.set_col(j, col);
     }
     return x;
   }
+  g_lu_fallbacks.fetch_add(1, std::memory_order_relaxed);
   return solve(a, b);
+}
+
+SpdStats spd_stats() {
+  SpdStats s;
+  s.cholesky_failures = g_cholesky_failures.load(std::memory_order_relaxed);
+  s.bump_recoveries = g_bump_recoveries.load(std::memory_order_relaxed);
+  s.lu_fallbacks = g_lu_fallbacks.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_spd_stats() {
+  g_cholesky_failures.store(0, std::memory_order_relaxed);
+  g_bump_recoveries.store(0, std::memory_order_relaxed);
+  g_lu_fallbacks.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace iup::linalg

@@ -2,10 +2,19 @@
 //
 // The normal-equation solves inside Algorithm 1 (Eq. 24) and the LRR
 // Z-update are SPD by construction (Gram matrices plus lambda*I), so the
-// solver pipeline prefers Cholesky and falls back to LU only when the
-// factorisation fails (e.g. lambda == 0 with a rank-deficient factor).
+// solver pipeline prefers Cholesky.  When the factorisation fails (e.g.
+// lambda == 0 with a rank-deficient factor) the solve does NOT silently
+// fall back to a fresh LU factorisation any more: it first retries with a
+// deterministic diagonal bump (the usual "jitter" fix for near-singular
+// normal equations, scaled to the matrix), and only then pays for LU.
+// Every failure/recovery/fallback is counted in SpdStats so a sweep that
+// quietly degrades to the 4x-slower path is visible in diagnostics.
+//
+// The `_in_place` / `_into` variants are the allocation-free hot-path
+// kernels: they factor and solve entirely inside caller-owned storage.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -17,14 +26,53 @@ namespace iup::linalg {
 /// not positive definite (within roundoff).
 std::optional<Matrix> cholesky(const Matrix& a);
 
+/// In-place variant: overwrites the lower triangle of `a` with L (the
+/// strict upper triangle is left untouched).  Returns false when `a` is
+/// not positive definite; the lower triangle is then partially destroyed,
+/// but since the strict upper triangle still holds the original symmetric
+/// entries a caller that saved the diagonal can restore `a` exactly.
+bool cholesky_in_place(Matrix& a);
+
 /// Solve a x = b where a is SPD, using a precomputed lower factor.
 std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
 
-/// Solve a x = b for SPD a.  Falls back to LU on factorisation failure so
-/// callers never have to branch on definiteness themselves.
+/// Allocation-free solve: on entry `bx` holds b, on exit the solution
+/// (forward substitution runs in place, then back substitution).
+void cholesky_solve_in_place(const Matrix& l, std::span<double> bx);
+
+/// Solve a x = b for SPD a.  Retries with a diagonal bump, then falls back
+/// to LU, so callers never have to branch on definiteness themselves.
 std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
 
 /// Solve a X = B for SPD a, column by column, reusing one factorisation.
 Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+/// Allocation-free SPD solve for the sweep hot loop.  `a` is destroyed
+/// (it ends up holding a Cholesky factor or retry scratch); on entry `bx`
+/// holds b and on exit the solution.  `diag_scratch` must have length
+/// a.rows() — it preserves the original diagonal across retries.
+///
+/// Failure policy (all deterministic, no RNG):
+///   1. plain Cholesky;
+///   2. two retries with the diagonal bumped by 1e-10 resp. 1e-6 times
+///      the mean diagonal magnitude — the "jittered" lambda bump that
+///      rescues nearly-PSD normal equations for a fraction of the cost of
+///      a full LU solve;
+///   3. LU with partial pivoting on the (symmetrised) original.
+/// Every stage is counted in the process-wide SpdStats.
+void solve_spd_into(Matrix& a, std::span<double> bx,
+                    std::span<double> diag_scratch);
+
+/// Diagnostic counters for the SPD solve path (process-wide, updated with
+/// relaxed atomics — cheap enough to leave on in release builds).
+struct SpdStats {
+  std::uint64_t cholesky_failures = 0;  ///< initial factorisations failed
+  std::uint64_t bump_recoveries = 0;    ///< rescued by the diagonal bump
+  std::uint64_t lu_fallbacks = 0;       ///< paid for the full LU solve
+};
+
+/// Snapshot of the counters since process start / the last reset.
+SpdStats spd_stats();
+void reset_spd_stats();
 
 }  // namespace iup::linalg

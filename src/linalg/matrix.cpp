@@ -114,8 +114,23 @@ std::vector<double> Matrix::row(std::size_t i) const {
 
 std::vector<double> Matrix::col(std::size_t j) const {
   std::vector<double> out(rows_);
-  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  copy_col_into(j, out);
   return out;
+}
+
+void Matrix::copy_col_into(std::size_t j, std::span<double> out) const {
+  if (out.size() != rows_) {
+    throw std::invalid_argument("copy_col_into: length mismatch");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+}
+
+void Matrix::copy_row_into(std::size_t i, std::span<double> out) const {
+  if (out.size() != cols_) {
+    throw std::invalid_argument("copy_row_into: length mismatch");
+  }
+  auto s = row_span(i);
+  std::copy(s.begin(), s.end(), out.begin());
 }
 
 void Matrix::set_row(std::size_t i, std::span<const double> values) {
@@ -138,8 +153,10 @@ Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
     throw std::out_of_range("Matrix::block out of range");
   }
   Matrix out(nr, nc);
+  // One contiguous copy per row — both matrices are row-major.
   for (std::size_t i = 0; i < nr; ++i) {
-    for (std::size_t j = 0; j < nc; ++j) out(i, j) = (*this)(r0 + i, c0 + j);
+    const auto src = row_span(r0 + i).subspan(c0, nc);
+    std::copy(src.begin(), src.end(), out.row_span(i).begin());
   }
   return out;
 }
@@ -167,10 +184,8 @@ Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
 }
 
 Matrix Matrix::transpose() const {
-  Matrix out(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
-  }
+  Matrix out;
+  transpose_into(*this, out);
   return out;
 }
 
@@ -213,20 +228,8 @@ Matrix Matrix::operator-() const {
 }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("Matrix product: inner dimension mismatch");
-  }
-  Matrix out(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous in both b and out.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        out(i, j) += aik * b(k, j);
-      }
-    }
-  }
+  Matrix out;
+  multiply_into(a, b, out);
   return out;
 }
 
@@ -282,23 +285,133 @@ bool Matrix::approx_equal(const Matrix& rhs, double tol) const {
 }
 
 Matrix Matrix::gram() const {
-  Matrix g(cols_, cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    auto r = row_span(i);
-    for (std::size_t a = 0; a < cols_; ++a) {
-      const double ra = r[a];
-      if (ra == 0.0) continue;
-      for (std::size_t b = a; b < cols_; ++b) g(a, b) += ra * r[b];
-    }
-  }
-  for (std::size_t a = 0; a < cols_; ++a) {
-    for (std::size_t b = 0; b < a; ++b) g(a, b) = g(b, a);
-  }
+  Matrix g;
+  gram_into(*this, g);
   return g;
 }
 
 void Matrix::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+namespace {
+
+// Tile edge for the blocked kernels: 64 doubles = 512 B per row segment,
+// so an out/a/b tile triple stays comfortably inside L1.
+constexpr std::size_t kTile = 64;
+
+void check_not_aliased(const Matrix& out, const Matrix& a, const Matrix& b,
+                       const char* op) {
+  if (&out == &a || &out == &b) {
+    throw std::invalid_argument(std::string(op) + ": out aliases an input");
+  }
+}
+
+}  // namespace
+
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_not_aliased(out, a, b, "multiply_into");
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("Matrix product: inner dimension mismatch");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t inner = a.cols();
+  const std::size_t n = b.cols();
+  out.resize(m, n, 0.0);
+  // Blocked i-k-j: for every out element the k contributions still arrive
+  // in ascending order (k tiles ascending, k ascending within a tile), so
+  // the result is bit-identical to the naive triple loop.
+  for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, m);
+    for (std::size_t k0 = 0; k0 < inner; k0 += kTile) {
+      const std::size_t k1 = std::min(k0 + kTile, inner);
+      for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+        const std::size_t j1 = std::min(j0 + kTile, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          auto out_row = out.row_span(i);
+          for (std::size_t k = k0; k < k1; ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            const auto b_row = b.row_span(k);
+            for (std::size_t j = j0; j < j1; ++j) {
+              out_row[j] += aik * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void multiply_transposed_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_not_aliased(out, a, b, "multiply_transposed_into");
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument(
+        "multiply_transposed_into: inner dimension mismatch");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t inner = a.cols();
+  out.resize(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto a_row = a.row_span(i);
+    auto out_row = out.row_span(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto b_row = b.row_span(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+}
+
+void transpose_into(const Matrix& a, Matrix& out) {
+  check_not_aliased(out, a, a, "transpose_into");
+  out.resize(a.cols(), a.rows());
+  // Tiled so both the strided reads and the contiguous writes stay within
+  // a cache-resident block.
+  for (std::size_t i0 = 0; i0 < a.rows(); i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, a.rows());
+    for (std::size_t j0 = 0; j0 < a.cols(); j0 += kTile) {
+      const std::size_t j1 = std::min(j0 + kTile, a.cols());
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) out(j, i) = a(i, j);
+      }
+    }
+  }
+}
+
+void gram_into(const Matrix& a, Matrix& out) {
+  check_not_aliased(out, a, a, "gram_into");
+  const std::size_t n = a.cols();
+  out.resize(n, n, 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto r = a.row_span(i);
+    for (std::size_t p = 0; p < n; ++p) {
+      const double rp = r[p];
+      if (rp == 0.0) continue;
+      auto out_row = out.row_span(p);
+      for (std::size_t q = p; q < n; ++q) out_row[q] += rp * r[q];
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < p; ++q) out(p, q) = out(q, p);
+  }
+}
+
+void add_scaled(Matrix& y, double alpha, const Matrix& x) {
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("add_scaled: shape mismatch");
+  }
+  auto yd = y.data();
+  const auto xd = x.data();
+  for (std::size_t k = 0; k < yd.size(); ++k) yd[k] += alpha * xd[k];
 }
 
 }  // namespace iup::linalg

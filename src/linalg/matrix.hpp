@@ -7,9 +7,15 @@
 // solver reads like the published algorithm: `col`, `set_col`, `hadamard`,
 // `transpose`, `Matrix::diag`, `Matrix::toeplitz`, ...
 //
-// Sizes in this project are small (the largest matrices are M x N with
-// M <= 16 links and N <= a few thousand grid cells), so the implementation
-// favours clarity and numerical robustness over blocking/vectorisation.
+// Sizes in this project are small-to-medium (the largest matrices are
+// M x N with M <= 16 links and N <= a few thousand grid cells).  The
+// allocating operators keep the MATLAB-flavoured call sites readable; the
+// solver hot loops instead use the allocation-free `_into` kernels at the
+// bottom of this header, which write into caller-owned buffers and tile
+// the products for cache locality.  Every `_into` kernel accumulates in
+// the same index order as its allocating counterpart, so results are
+// bit-identical — a prerequisite for the solver's thread-count-invariance
+// guarantee.
 #pragma once
 
 #include <cstddef>
@@ -76,6 +82,13 @@ class Matrix {
   std::vector<double> row(std::size_t i) const;
   std::vector<double> col(std::size_t j) const;
 
+  /// Copy column j into a caller-owned buffer of length rows() — the
+  /// allocation-free counterpart of col().
+  void copy_col_into(std::size_t j, std::span<double> out) const;
+
+  /// Copy row i into a caller-owned buffer of length cols().
+  void copy_row_into(std::size_t i, std::span<double> out) const;
+
   void set_row(std::size_t i, std::span<const double> values);
   void set_col(std::size_t j, std::span<const double> values);
 
@@ -134,6 +147,11 @@ class Matrix {
   /// Fill every element with `value`.
   void fill(double value);
 
+  /// Reshape to rows x cols with every element set to `fill`.  Reuses the
+  /// existing allocation whenever capacity suffices, so workspace matrices
+  /// resized to the same shape every sweep never touch the heap.
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
  private:
   std::size_t index(std::size_t i, std::size_t j) const {
     return i * cols_ + j;
@@ -144,5 +162,30 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+// ---------------------------------------------------------------------------
+// Allocation-free kernels.  All of them resize `out` (capacity-reusing, see
+// Matrix::resize) and overwrite it completely; `out` must not alias an
+// input (throws std::invalid_argument).  Accumulation order matches the
+// allocating counterparts exactly, so e.g. multiply_into(a, b, out) is
+// bit-identical to out = a * b.
+// ---------------------------------------------------------------------------
+
+/// out = a * b, tiled over all three loop dimensions for cache locality.
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T without materialising the transpose: out(i,j) =
+/// dot(a.row(i), b.row(j)), both contiguous.  This is the `X_hat = L R^T`
+/// kernel of the solver's objective evaluation.
+void multiply_transposed_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T.
+void transpose_into(const Matrix& a, Matrix& out);
+
+/// out = a^T * a (the Gram matrix of a's columns).
+void gram_into(const Matrix& a, Matrix& out);
+
+/// y += alpha * x (same shape), without the temporary of y += alpha * x.
+void add_scaled(Matrix& y, double alpha, const Matrix& x);
 
 }  // namespace iup::linalg

@@ -1,6 +1,8 @@
 #include "linalg/norms.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "linalg/svd.hpp"
 
@@ -40,6 +42,37 @@ double relative_error(const Matrix& a, const Matrix& b) {
   diff -= b;
   const double denom = std::max(frobenius_norm(b), 1e-300);
   return frobenius_norm(diff) / denom;
+}
+
+double diff_norm_sq(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("diff_norm_sq: shape mismatch");
+  }
+  const auto ad = a.data();
+  const auto bd = b.data();
+  double acc = 0.0;
+  for (std::size_t k = 0; k < ad.size(); ++k) {
+    const double d = ad[k] - bd[k];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double masked_diff_norm_sq(const Matrix& mask, const Matrix& x,
+                           const Matrix& y) {
+  if (mask.rows() != x.rows() || mask.cols() != x.cols() ||
+      mask.rows() != y.rows() || mask.cols() != y.cols()) {
+    throw std::invalid_argument("masked_diff_norm_sq: shape mismatch");
+  }
+  const auto md = mask.data();
+  const auto xd = x.data();
+  const auto yd = y.data();
+  double acc = 0.0;
+  for (std::size_t k = 0; k < md.size(); ++k) {
+    const double d = md[k] * xd[k] - yd[k];
+    acc += d * d;
+  }
+  return acc;
 }
 
 }  // namespace iup::linalg

@@ -26,4 +26,14 @@ double l21_norm(const Matrix& a);
 /// Relative Frobenius distance ||a - b||_F / max(||b||_F, eps).
 double relative_error(const Matrix& a, const Matrix& b);
 
+/// ||a - b||_F^2 without materialising the difference — the fused form of
+/// frobenius_norm_sq(a - b) used by the solver's objective evaluation.
+double diff_norm_sq(const Matrix& a, const Matrix& b);
+
+/// ||mask o x - y||_F^2 without the hadamard/difference temporaries: the
+/// paper's data term ||B o (L R^T) - X_B||_F^2 in one pass.  Elementwise
+/// and in the same order as the allocating expression, so bit-identical.
+double masked_diff_norm_sq(const Matrix& mask, const Matrix& x,
+                           const Matrix& y);
+
 }  // namespace iup::linalg
