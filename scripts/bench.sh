@@ -16,7 +16,11 @@ MIN_TIME=${MIN_TIME:-0.1}
 FILTER=${FILTER:-.}
 OUT=${OUT:-BENCH_micro.json}
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DIUP_API_WERROR=ON
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release -DIUP_API_WERROR=ON)
+if command -v ccache > /dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_solvers
 
 BIN="$BUILD_DIR/bench/bench_micro_solvers"

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a fresh micro-bench run against a baseline and FAILS (exit 1)
+when any benchmark's wall-clock real_time regressed by more than
+--max-regression (default 25%).  Two baseline sources:
+
+- --baseline FILE: a run produced on the SAME machine (CI benches the
+  base commit in the same job and passes it here).  Preferred — timings
+  never cross hardware.
+- default: the "before" half of BENCH_micro.json, which scripts/bench.sh
+  rotated from the previously committed run.  Only meaningful on the
+  reference machine that produced the committed numbers (used locally to
+  sanity-check a change against the committed trajectory).
+
+Known-noisy rows are skipped by default: the multi-thread wall-clock rows
+(BM_*Sweep/2.., BM_UpdateBatchFourSites/4, BM_LocalizeBatch/8, ...) measure
+the fan-out against however many cores the host happens to have, so their
+wall clock is a property of the machine, not the code.  Additional rows can
+be skipped with --skip (regex, repeatable).
+
+Rows faster than --noise-floor-ns in BOTH runs are reported as warnings
+only: at microsecond scale a shared CI box jitters past any reasonable
+threshold.
+
+Usage:
+    scripts/bench.sh && python3 scripts/bench_check.py
+    python3 scripts/bench_check.py --file BENCH_micro.json \
+        --max-regression 0.25 --skip 'BM_RassTraining'
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Wall-clock depends on the host's core count for these, not on the code.
+DEFAULT_SKIP = [
+    r"^BM_Algorithm1Sweep/(?!1$)\d+$",
+    r"^BM_LrrCorrelationThreads/\d+$",
+    r"^BM_MicExtractionThreads/\d+$",
+    r"^BM_UpdateBatchFourSites/(?!1$)\d+$",
+    r"^BM_LocalizeBatch/(?!1$)\d+$",
+]
+
+
+def load_rows(section):
+    return {b["name"]: b["real_time"] for b in section.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", default="BENCH_micro.json")
+    parser.add_argument("--baseline", default=None,
+                        help="compare --file's 'after' against this file's "
+                             "run instead of --file's own 'before'.  CI "
+                             "benches the base commit on the same runner "
+                             "and passes it here, so the gate never "
+                             "compares timings across machines")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional slowdown (0.25 = +25%%)")
+    parser.add_argument("--skip", action="append", default=[],
+                        help="extra row-name regex to skip (repeatable)")
+    parser.add_argument("--no-default-skips", action="store_true",
+                        help="gate the thread-scaling rows too")
+    parser.add_argument("--noise-floor-ns", type=float, default=20000.0,
+                        help="rows faster than this in both runs only warn")
+    args = parser.parse_args()
+
+    with open(args.file) as f:
+        doc = json.load(f)
+    after = doc.get("after") or {}
+    if args.baseline:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+        before = base_doc.get("after") or base_doc.get("before") or {}
+        src = args.baseline
+    else:
+        before = doc.get("before") or {}
+        src = f"{args.file} ('before')"
+    if not before or not after:
+        print(f"need both a fresh run in {args.file} and a baseline in "
+              f"{src} (run scripts/bench.sh, or commit a baseline first)")
+        return 1
+    print(f"baseline: {src}")
+
+    skips = list(args.skip)
+    if not args.no_default_skips:
+        skips += DEFAULT_SKIP
+    skip_res = [re.compile(p) for p in skips]
+
+    base = load_rows(before)
+    fresh = load_rows(after)
+    failures = []
+    print(f"{'benchmark':44s} {'before':>12s} {'after':>12s} {'ratio':>8s}")
+    for name in fresh:
+        if name not in base:
+            print(f"{name:44s} {'(new)':>12s} {fresh[name] / 1e6:9.3f} ms")
+            continue
+        ratio = fresh[name] / base[name] if base[name] > 0 else float("inf")
+        line = (f"{name:44s} {base[name] / 1e6:9.3f} ms {fresh[name] / 1e6:9.3f} ms "
+                f"{ratio:7.2f}x")
+        if any(r.search(name) for r in skip_res):
+            print(line + "  [skipped: noisy row]")
+            continue
+        if ratio > 1.0 + args.max_regression:
+            if base[name] < args.noise_floor_ns and fresh[name] < args.noise_floor_ns:
+                print(line + "  [warn: below noise floor]")
+                continue
+            failures.append((name, ratio))
+            print(line + "  [FAIL]")
+        else:
+            print(line)
+    for name in base:
+        if name not in fresh:
+            print(f"{name:44s} removed from the fresh run")
+
+    if failures:
+        limit = 1.0 + args.max_regression
+        print(f"\n{len(failures)} benchmark(s) regressed past {limit:.2f}x:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        print("If intentional (trade-off documented in the PR), refresh the "
+              "baseline with scripts/bench.sh and commit BENCH_micro.json.")
+        return 1
+    print("\nbench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

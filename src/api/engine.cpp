@@ -33,10 +33,13 @@ std::unique_ptr<loc::Localizer> make_localizer(
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)), store_(config_.history_limit()) {
+  // The effective thread count wins over the per-options thread knobs no
+  // matter in which order the fluent setters were called: the solver
+  // sweep, the MIC column scoring and the LRR fan-out all share it.
+  lrr_options_ = config_.lrr();
+  lrr_options_.threads = config_.threads();
   backend_ = config_.solver_backend();
   if (backend_ == nullptr) {
-    // The effective thread count wins over RsvdOptions::threads no matter
-    // in which order the fluent setters were called.
     core::RsvdOptions options = config_.rsvd();
     options.threads = config_.threads();
     backend_ = make_backend(config_.solver_name(), options);
@@ -45,6 +48,7 @@ Engine::Engine(EngineConfig config)
     throw std::invalid_argument("Engine: unknown solver backend '" +
                                 config_.solver_name() + "'");
   }
+  warm_start_enabled_ = config_.warm_start() && backend_->uses_warm_start();
 }
 
 Result<SnapshotPtr> Engine::register_site(std::string site,
@@ -81,13 +85,14 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
   core::MicResult mic;
   linalg::Matrix z;
   try {
-    mic = core::extract_mic(x_original, config_.mic_strategy());
+    mic = core::extract_mic(x_original, config_.mic_strategy(),
+                            core::kMicDefaultRelTol, config_.threads());
     if (mic.reference_cells.empty()) {
       return Status::invalid_argument(
           "register_site: fingerprint matrix has rank 0, no reference "
           "locations can be selected");
     }
-    z = core::acquire_correlation(mic, x_original, config_.lrr());
+    z = core::acquire_correlation(mic, x_original, lrr_options_);
   } catch (const std::exception& e) {
     return Status::internal(std::string("register_site: ") + e.what());
   }
@@ -111,7 +116,16 @@ Status Engine::drop_site(const std::string& site) {
   std::lock_guard<std::mutex> lock(*state_mutex_);
   deployments_.erase(site);
   localizers_.erase(site);
+  warm_starts_.erase(site);
   return store_.erase_site(site);
+}
+
+std::optional<std::uint64_t> Engine::warm_start_version(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(*state_mutex_);
+  const auto it = warm_starts_.find(site);
+  if (it == warm_starts_.end()) return std::nullopt;
+  return it->second.version;
 }
 
 Status Engine::attach_deployment(const std::string& site,
@@ -165,14 +179,13 @@ Status Engine::set_reference_cells(const std::string& site,
     }
   }
 
-  linalg::Matrix z;
-  try {
-    const core::MicResult mic =
-        core::mic_from_cells(snap->database(), cells);
-    z = core::acquire_correlation(mic, snap->database(), config_.lrr());
-  } catch (const std::exception& e) {
-    return Status::internal(std::string("set_reference_cells: ") + e.what());
+  Result<linalg::Matrix> refreshed =
+      refreshed_correlation(snap->database(), cells);
+  if (!refreshed.ok()) {
+    return Status::internal("set_reference_cells: " +
+                            refreshed.status().message());
   }
+  linalg::Matrix z = std::move(refreshed).value();
 
   std::lock_guard<std::mutex> lock(*state_mutex_);
   if (store_.next_version(site) != snap->version() + 1) {
@@ -214,6 +227,21 @@ Result<UpdateResult> Engine::solve_request(const FingerprintSnapshot& snap,
   if (backend_->uses_correlation()) {
     problem.p = inputs.x_r * snap.correlation();
   }
+  if (warm_start_enabled_) {
+    // Seed the solver from the cached factor when — and only when — it was
+    // derived from the exact snapshot this solve reads; any other version
+    // means the site moved underneath the cache and the solver starts cold.
+    // Only the pointer moves under the lock; the copy happens outside it.
+    std::shared_ptr<const linalg::Matrix> cached;
+    {
+      std::lock_guard<std::mutex> lock(*state_mutex_);
+      const auto it = warm_starts_.find(snap.site());
+      if (it != warm_starts_.end() && it->second.version == snap.version()) {
+        cached = it->second.l0;
+      }
+    }
+    if (cached != nullptr) problem.l0 = *cached;
+  }
 
   UpdateResult result;
   try {
@@ -233,6 +261,17 @@ Result<UpdateResult> Engine::reconstruct(const UpdateRequest& request) const {
   return solve_request(*latest.value(), request);
 }
 
+Result<linalg::Matrix> Engine::refreshed_correlation(
+    const linalg::Matrix& x_hat,
+    const std::vector<std::size_t>& cells) const {
+  try {
+    const core::MicResult mic = core::mic_from_cells(x_hat, cells);
+    return core::acquire_correlation(mic, x_hat, lrr_options_);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("correlation refresh: ") + e.what());
+  }
+}
+
 Result<UpdateResult> Engine::update(const UpdateRequest& request) {
   Result<SnapshotPtr> latest = snapshot(request.site);
   if (!latest.ok()) return latest.status();
@@ -245,20 +284,26 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
   if (!solved.ok()) return solved;
   UpdateResult result = std::move(solved).value();
 
-  // Commit: the reconstruction becomes the latest database; optionally
-  // re-acquire the correlation from it for the next cycle (the paper's
-  // "original or latest updated" phrasing).
+  // Post-solve correlation refresh: the reconstruction becomes the latest
+  // database; optionally re-acquire Z from it for the next cycle (the
+  // paper's "original or latest updated" phrasing).  Runs outside the
+  // lock, over the engine's thread budget.
   std::vector<std::size_t> cells = snap->reference_cells();
   linalg::Matrix z = snap->correlation();
   if (config_.refresh_correlation()) {
-    try {
-      const core::MicResult mic =
-          core::mic_from_cells(result.solver.x_hat, cells);
-      z = core::acquire_correlation(mic, result.solver.x_hat, config_.lrr());
-    } catch (const std::exception& e) {
-      return Status::internal(std::string("update: correlation refresh: ") +
-                              e.what());
+    Result<linalg::Matrix> refreshed =
+        refreshed_correlation(result.solver.x_hat, cells);
+    if (!refreshed.ok()) {
+      return Status::internal("update: " + refreshed.status().message());
     }
+    z = std::move(refreshed).value();
+  }
+
+  // Copy the converged factor for the cache before taking the lock (only
+  // the pointer is exchanged under it).
+  std::shared_ptr<const linalg::Matrix> warm_factor;
+  if (warm_start_enabled_) {
+    warm_factor = std::make_shared<linalg::Matrix>(result.solver.l);
   }
 
   std::lock_guard<std::mutex> lock(*state_mutex_);
@@ -275,6 +320,14 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
       request.site, snap->version() + 1, result.solver.x_hat, snap->mask(),
       snap->layout(), std::move(cells), std::move(z), request.day);
   if (const Status put = store_.put(next); !put.ok()) return put;
+  if (warm_start_enabled_) {
+    // The converged factor is the warm start for the next solve reading
+    // this snapshot; stored under the same lock as the commit so the
+    // version pairing can never be observed torn.
+    WarmStart& ws = warm_starts_[request.site];
+    ws.version = next->version();
+    ws.l0 = std::move(warm_factor);
+  }
   result.committed_version = next->version();
   result.snapshot = std::move(next);
   return result;
@@ -299,7 +352,11 @@ std::vector<Result<UpdateResult>> Engine::update_batch(
   // Sites share no mutable state, so running the per-site chains
   // concurrently — each chain still strictly in request order — commits
   // exactly the snapshots and returns exactly the Results of the
-  // sequential loop above.
+  // sequential loop above.  Each chain carries its own post-commit MIC +
+  // LRR correlation refresh, so site A's refresh overlaps site B's solve
+  // instead of serialising the whole batch behind the refreshes; a
+  // single-group batch runs inline on the caller, where the refresh's own
+  // MIC/LRR column fan-out gets the full thread budget.
   std::vector<std::vector<std::size_t>> groups;
   std::unordered_map<std::string, std::size_t> group_of;
   for (std::size_t k = 0; k < requests.size(); ++k) {

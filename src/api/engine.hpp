@@ -9,9 +9,12 @@
 // Status / Result<T>; exceptions never cross this boundary.
 //
 // Batched entry points (update_batch / localize_batch) amortize per-site
-// state: snapshots and correlation matrices are reused from the store, and
-// the localizer (whose construction builds the matching dictionary) is
-// cached per site version.  With EngineConfig::threads(n) > 1 they fan out
+// state: snapshots and correlation matrices are reused from the store, the
+// localizer (whose construction builds the matching dictionary) is cached
+// per site version, and each commit caches its converged solver factor as
+// a versioned warm start for the next solve of the same snapshot
+// (EngineConfig::warm_start, on by default), skipping the per-update
+// initialisation SVD.  With EngineConfig::threads(n) > 1 they fan out
 // over iup::parallel: update_batch parallelises across *sites* (same-site
 // requests stay strictly ordered, so batches remain exactly equivalent to
 // sequential update() calls) and localize_batch across measurements.
@@ -22,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -122,17 +126,43 @@ class Engine {
   const EngineConfig& config() const { return config_; }
   const SolverBackend& solver() const { return *backend_; }
 
+  /// Snapshot version the site's cached warm-start factor was derived
+  /// from, or nullopt when the cache is empty (warm_start(false), never
+  /// updated, or dropped).  A cached version older than the site's latest
+  /// snapshot means the next solve re-initialises cold — the cache is
+  /// consulted only when the versions match exactly.  Introspection for
+  /// tests and monitoring.
+  std::optional<std::uint64_t> warm_start_version(
+      const std::string& site) const;
+
  private:
-  /// Validate `request` against `snapshot` and run the solver.
+  /// Validate `request` against `snapshot` and run the solver, seeding it
+  /// from the warm-start cache when the cached version matches.
   Result<UpdateResult> solve_request(const FingerprintSnapshot& snapshot,
                                      const UpdateRequest& request) const;
+
+  /// Post-commit correlation refresh: gather the reference columns of
+  /// `x_hat` (MIC) and re-solve the LRR for Z, both over the engine's
+  /// thread budget (lrr_options_).  Runs outside the state lock; in
+  /// update_batch the per-site refreshes execute concurrently across
+  /// sites, and at top level (single-site batches, plain update()) the
+  /// LRR's own column fan-out uses the full budget.
+  Result<linalg::Matrix> refreshed_correlation(
+      const linalg::Matrix& x_hat,
+      const std::vector<std::size_t>& cells) const;
   /// Shared ownership so an in-flight localize keeps its localizer alive
   /// even when a concurrent update/drop replaces the cache entry.
   Result<std::shared_ptr<const loc::Localizer>> localizer_for(
       const std::string& site) const;
 
   EngineConfig config_;
+  /// config_.lrr() with the effective thread budget applied; every
+  /// correlation acquisition/refresh solves with these options.
+  core::LrrOptions lrr_options_;
   std::shared_ptr<const SolverBackend> backend_;
+  /// warm_start() requested AND the backend actually consumes problem.l0;
+  /// otherwise the cache is bypassed entirely (no copies, no retention).
+  bool warm_start_enabled_ = false;
   /// Guards store_, deployments_ and localizers_ during batched fan-outs.
   /// Solver and localization work always runs outside this lock.  Held by
   /// unique_ptr so Engine stays movable (moving an Engine while a batch is
@@ -146,6 +176,21 @@ class Engine {
     std::shared_ptr<const loc::Localizer> localizer;
   };
   mutable std::unordered_map<std::string, CachedLocalizer> localizers_;
+
+  /// Versioned warm-start factors: l0 is the converged L of the solve that
+  /// committed `version`, a good initial iterate for the next solve based
+  /// on that exact snapshot (the database drifts slowly between updates —
+  /// the paper's premise).  Guarded by state_mutex_; entries whose version
+  /// no longer matches the snapshot being solved are ignored, so a
+  /// set_reference_cells (or any commit that bypasses the solver)
+  /// invalidates the cache by construction.
+  struct WarmStart {
+    std::uint64_t version = 0;
+    /// Shared so readers/writers exchange a pointer under state_mutex_ and
+    /// copy the matrix outside the lock.
+    std::shared_ptr<const linalg::Matrix> l0;
+  };
+  mutable std::unordered_map<std::string, WarmStart> warm_starts_;
 };
 
 }  // namespace iup::api

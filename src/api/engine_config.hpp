@@ -50,6 +50,21 @@ class EngineConfig {
     refresh_correlation_ = value;
     return *this;
   }
+  /// Reuse the previous snapshot's converged factor as the solver's L0
+  /// (versioned per-site cache, invalidated whenever the site moves to a
+  /// version the cache was not derived from) instead of paying for a fresh
+  /// warm-start SVD on every update.  Only backends that consume the
+  /// factor participate (FactorInit::kWarmStart).  NOTE: on by default,
+  /// which changes the second-and-later update() iterates (and thus
+  /// committed x_hat values) relative to releases without the cache — the
+  /// solver starts from a different, better L0.  Results remain
+  /// bit-identical across thread counts and across engines replaying the
+  /// same per-site request sequence; set warm_start(false) to reproduce
+  /// cold-start-era numbers exactly.
+  EngineConfig& warm_start(bool value) {
+    warm_start_ = value;
+    return *this;
+  }
   /// Pick a solver by registry name (see make_backend()); resolved against
   /// the rsvd() options when the engine is constructed.
   EngineConfig& solver(std::string name) {
@@ -71,12 +86,14 @@ class EngineConfig {
     history_limit_ = value;
     return *this;
   }
-  /// Worker threads (0 = all hardware threads).  Sets both the solver
-  /// sweep parallelism (RsvdOptions::threads is overridden when the
-  /// engine builds its backend, regardless of setter order) and the
-  /// update_batch / localize_batch fan-out.  When never called, the
-  /// rsvd().threads value applies throughout.  Results are bit-identical
-  /// for any value: the solver sweep never reorders a floating-point
+  /// Worker threads (0 = all hardware threads).  Sets the solver sweep
+  /// parallelism (RsvdOptions::threads is overridden when the engine
+  /// builds its backend, regardless of setter order), the correlation
+  /// pipeline (MIC column scoring and the LRR ADMM fan-out, both at
+  /// registration and on every post-commit refresh) and the update_batch /
+  /// localize_batch fan-out.  When never called, the rsvd().threads value
+  /// applies throughout.  Results are bit-identical for any value: the
+  /// solver sweep and the MIC/LRR kernels never reorder a floating-point
   /// reduction, and the batch fan-outs only parallelise independent work
   /// (distinct sites / distinct measurements).
   EngineConfig& threads(std::size_t value) {
@@ -88,6 +105,7 @@ class EngineConfig {
   const core::LrrOptions& lrr() const { return lrr_; }
   core::MicStrategy mic_strategy() const { return mic_strategy_; }
   bool refresh_correlation() const { return refresh_correlation_; }
+  bool warm_start() const { return warm_start_; }
   const std::string& solver_name() const { return solver_name_; }
   const std::shared_ptr<const SolverBackend>& solver_backend() const {
     return solver_backend_;
@@ -106,6 +124,7 @@ class EngineConfig {
   core::LrrOptions lrr_;
   core::MicStrategy mic_strategy_ = core::MicStrategy::kQrcp;
   bool refresh_correlation_ = true;
+  bool warm_start_ = true;
   std::string solver_name_ = "self-augmented";
   std::shared_ptr<const SolverBackend> solver_backend_;
   LocalizerKind localizer_ = LocalizerKind::kOmp;

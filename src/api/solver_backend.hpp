@@ -29,6 +29,11 @@ class SolverBackend {
   /// `problem.p = X_R * Z`; the engine skips that product otherwise.
   virtual bool uses_correlation() const = 0;
 
+  /// True when the backend consumes an explicit warm-start factor
+  /// `problem.l0`; the engine's versioned warm-start cache is bypassed
+  /// (no factor copies, no retained memory) otherwise.
+  virtual bool uses_warm_start() const { return false; }
+
   /// Reconstruct the full fingerprint matrix for one problem.  `layout` is
   /// the band structure Constraint 2 operates on.
   virtual core::RsvdResult solve(const core::RsvdProblem& problem,
@@ -45,6 +50,9 @@ class SelfAugmentedBackend final : public SolverBackend {
 
   std::string name() const override { return name_; }
   bool uses_correlation() const override { return options_.use_constraint1; }
+  bool uses_warm_start() const override {
+    return options_.init == core::FactorInit::kWarmStart;
+  }
   core::RsvdResult solve(const core::RsvdProblem& problem,
                          const core::BandLayout& layout) const override;
 

@@ -7,77 +7,196 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/vec.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace iup::core {
+
+namespace {
+
+// Per-call scratch of solve_lrr.  The ADMM state is stored TRANSPOSED:
+// a grid column of X / Z / E / Y1 / Y2 is a contiguous row here, so the
+// per-column Z back-substitution, the E shrinkage and the (A Z)^T product
+// all run on contiguous memory and each column is one independently-owned
+// unit of parallel work.  Everything is allocated once below; the
+// iterations themselves never touch the heap.
+struct LrrWorkspace {
+  linalg::Matrix xt;    ///< N x M : X^T
+  linalg::Matrix at;    ///< n x M : A^T (rows contiguous for the rhs dots)
+  linalg::Matrix lfac;  ///< n x n : Cholesky factor of I + A^T A
+  linalg::Matrix zt;    ///< N x n : Z^T (also holds the rhs pre-solve)
+  linalg::Matrix jt;    ///< N x n : J^T
+  linalg::Matrix y2t;   ///< N x n : Y2^T
+  linalg::Matrix et;    ///< N x M : E^T
+  linalg::Matrix y1t;   ///< N x M : Y1^T
+  linalg::Matrix dt;    ///< N x M : (X - E)^T rhs scratch
+  linalg::Matrix azt;   ///< N x M : (A Z)^T, shared by E-update and residual
+  linalg::Matrix jin;   ///< N x n : (Z + Y2/mu)^T, the SVT input
+  linalg::Matrix gmat;  ///< n x n : jin^T jin, eigendecomposed in place
+  linalg::Matrix evec;  ///< n x n : eigenvectors of gmat
+  linalg::Matrix smat;  ///< n x n : V diag(f(sigma)/sigma) V^T
+  std::vector<double> scale;  ///< n : per-mode SVT shrink factors
+  std::vector<double> diag;   ///< n : factor_spd retry scratch
+};
+
+// Jt = SVT(Jin) at level tau, computed through the small side: with
+// G = Jin^T Jin = V Sigma^2 V^T (n x n, n = MIC rank), the thresholded
+// iterate is Jin * V diag(max(sigma - tau, 0)/sigma) V^T — no SVD of the
+// tall N x n iterate needed.  Modes with sigma <= tau (including exact
+// null directions) are zeroed, exactly like the dense SVT.
+void svt_via_gram(LrrWorkspace& ws, double tau) {
+  linalg::gram_into(ws.jin, ws.gmat);
+  linalg::eigh_sym_in_place(ws.gmat, ws.evec);
+  const std::size_t n = ws.gmat.rows();
+  ws.scale.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lambda = ws.gmat(k, k);
+    const double sigma = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
+    ws.scale[k] = sigma > tau ? (sigma - tau) / sigma : 0.0;
+  }
+  ws.smat.resize(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (ws.scale[k] == 0.0) continue;
+        acc += ws.scale[k] * ws.evec(i, k) * ws.evec(j, k);
+      }
+      ws.smat(i, j) = acc;
+    }
+  }
+  linalg::multiply_into(ws.jin, ws.smat, ws.jt);
+}
+
+}  // namespace
 
 LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
                     const LrrOptions& options) {
   if (a.rows() != x.rows()) {
     throw std::invalid_argument("solve_lrr: dictionary/data row mismatch");
   }
+  const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   const std::size_t big_n = x.cols();
+  const std::size_t threads = parallel::resolve_threads(options.threads);
 
-  // Cached Cholesky of (I + A^T A) for the Z-update.
-  linalg::Matrix gram = a.gram();
-  for (std::size_t i = 0; i < n; ++i) gram(i, i) += 1.0;
-  const auto chol = linalg::cholesky(gram);
-  if (!chol) {
+  LrrWorkspace ws;
+  linalg::transpose_into(x, ws.xt);
+  linalg::transpose_into(a, ws.at);
+
+  // The Z-update normal matrix I + A^T A is fixed for the whole ADMM run:
+  // factor it exactly once (with the deterministic diagonal-bump retry of
+  // the SPD pipeline) and back-substitute per iteration.
+  linalg::gram_into(a, ws.lfac);
+  for (std::size_t i = 0; i < n; ++i) ws.lfac(i, i) += 1.0;
+  ws.diag.resize(n);
+  if (!linalg::factor_spd(ws.lfac, ws.diag)) {
     throw std::runtime_error("solve_lrr: (I + A^T A) not SPD (numerical)");
   }
 
-  const linalg::Matrix at = a.transpose();
+  ws.zt.resize(big_n, n);
+  ws.jt.resize(big_n, n);
+  ws.y2t.resize(big_n, n);
+  ws.et.resize(big_n, m);
+  ws.y1t.resize(big_n, m);
+  ws.dt.resize(big_n, m);
+  ws.azt.resize(big_n, m);
+  ws.jin.resize(big_n, n);
+
   const double x_norm = std::max(linalg::frobenius_norm(x), 1e-12);
-
-  linalg::Matrix z(n, big_n);
-  linalg::Matrix j(n, big_n);
-  linalg::Matrix e(x.rows(), big_n);
-  linalg::Matrix y1(x.rows(), big_n);  // multiplier for X = AZ + E
-  linalg::Matrix y2(n, big_n);         // multiplier for Z = J
-
   double mu = options.mu;
   LrrResult out;
 
   for (std::size_t it = 0; it < options.max_iters; ++it) {
+    const double inv_mu = 1.0 / mu;
+
     // J-update: singular-value thresholding of Z + Y2/mu at level 1/mu.
-    j = linalg::singular_value_threshold(z + y2 / mu, 1.0 / mu);
-
-    // Z-update: (I + A^T A) Z = A^T (X - E) + J + (A^T Y1 - Y2)/mu.
     {
-      linalg::Matrix rhs = at * (x - e) + j + (at * y1 - y2) / mu;
-      for (std::size_t c = 0; c < big_n; ++c) {
-        z.set_col(c, linalg::cholesky_solve(*chol, rhs.col(c)));
+      const auto z = ws.zt.data();
+      const auto y2 = ws.y2t.data();
+      const auto jin = ws.jin.data();
+      for (std::size_t k = 0; k < jin.size(); ++k) {
+        jin[k] = z[k] + y2[k] * inv_mu;
       }
     }
+    svt_via_gram(ws, inv_mu);
 
-    // E-update: column-wise l2,1 shrinkage of Q = X - A Z + Y1/mu.
-    {
-      const linalg::Matrix q = x - a * z + y1 / mu;
-      const double tau = options.epsilon / mu;
-      for (std::size_t c = 0; c < big_n; ++c) {
-        double col_norm = 0.0;
-        for (std::size_t r = 0; r < q.rows(); ++r) {
-          col_norm += q(r, c) * q(r, c);
-        }
-        col_norm = std::sqrt(col_norm);
-        const double scale =
-            col_norm > tau ? (col_norm - tau) / col_norm : 0.0;
-        for (std::size_t r = 0; r < q.rows(); ++r) {
-          e(r, c) = scale * q(r, c);
-        }
+    // Z-update, (A Z)^T product and E-update in one fan-out over the N
+    // grid columns.  Every column (= row of the transposed state) is
+    // written by exactly one chunk and all cross-column inputs (at, lfac,
+    // jt, the multipliers) are read-only here, so the result is
+    // bit-identical for any thread count.
+    const double tau = options.epsilon * inv_mu;
+    parallel::parallel_for(
+        threads, big_n, [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t r = begin; r < end; ++r) {
+            const auto xrow = ws.xt.row_span(r);
+            const auto y1row = ws.y1t.row_span(r);
+            const auto y2row = ws.y2t.row_span(r);
+            const auto jrow = ws.jt.row_span(r);
+            const auto d = ws.dt.row_span(r);
+            const auto erow = ws.et.row_span(r);
+            for (std::size_t i = 0; i < m; ++i) d[i] = xrow[i] - erow[i];
+
+            // (I + A^T A) z = A^T (X - E) + J + (A^T Y1 - Y2)/mu, built
+            // directly in the output row and solved there.
+            const auto zrow = ws.zt.row_span(r);
+            for (std::size_t jj = 0; jj < n; ++jj) {
+              const auto arow = ws.at.row_span(jj);
+              zrow[jj] = linalg::dot(arow, d) + jrow[jj] +
+                         (linalg::dot(arow, y1row) - y2row[jj]) * inv_mu;
+            }
+            linalg::cholesky_solve_in_place(ws.lfac, zrow);
+
+            const auto azrow = ws.azt.row_span(r);
+            for (std::size_t i = 0; i < m; ++i) {
+              azrow[i] = linalg::dot(a.row_span(i), zrow);
+            }
+
+            // E-update: l2,1 shrinkage of q = X - A Z + Y1/mu, column-wise.
+            double col_norm = 0.0;
+            for (std::size_t i = 0; i < m; ++i) {
+              const double q = xrow[i] - azrow[i] + y1row[i] * inv_mu;
+              col_norm += q * q;
+            }
+            col_norm = std::sqrt(col_norm);
+            const double shrink =
+                col_norm > tau ? (col_norm - tau) / col_norm : 0.0;
+            for (std::size_t i = 0; i < m; ++i) {
+              erow[i] = shrink * (xrow[i] - azrow[i] + y1row[i] * inv_mu);
+            }
+          }
+        });
+
+    // Multiplier updates and residual norms, fused.  The norms are global
+    // reductions, so this pass stays serial — its accumulation order must
+    // not depend on the chunk partition.
+    double r1_sq = 0.0;
+    double r2_sq = 0.0;
+    for (std::size_t r = 0; r < big_n; ++r) {
+      const auto xrow = ws.xt.row_span(r);
+      const auto azrow = ws.azt.row_span(r);
+      const auto erow = ws.et.row_span(r);
+      const auto y1row = ws.y1t.row_span(r);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double res = xrow[i] - azrow[i] - erow[i];
+        y1row[i] += mu * res;
+        r1_sq += res * res;
+      }
+      const auto zrow = ws.zt.row_span(r);
+      const auto jrow = ws.jt.row_span(r);
+      const auto y2row = ws.y2t.row_span(r);
+      for (std::size_t jj = 0; jj < n; ++jj) {
+        const double res = zrow[jj] - jrow[jj];
+        y2row[jj] += mu * res;
+        r2_sq += res * res;
       }
     }
-
-    // Multiplier and penalty updates.
-    const linalg::Matrix res1 = x - a * z - e;
-    const linalg::Matrix res2 = z - j;
-    y1 += mu * res1;
-    y2 += mu * res2;
     mu = std::min(options.rho * mu, options.mu_max);
 
     out.iterations = it + 1;
-    const double r1 = linalg::frobenius_norm(res1) / x_norm;
-    const double r2 = linalg::frobenius_norm(res2) / x_norm;
+    const double r1 = std::sqrt(r1_sq) / x_norm;
+    const double r2 = std::sqrt(r2_sq) / x_norm;
     out.residual = r1;
     if (r1 < options.tol && r2 < options.tol) {
       out.converged = true;
@@ -85,8 +204,8 @@ LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
     }
   }
 
-  out.z = std::move(z);
-  out.e = std::move(e);
+  linalg::transpose_into(ws.zt, out.z);
+  linalg::transpose_into(ws.et, out.e);
   return out;
 }
 

@@ -8,6 +8,15 @@
 // original (or latest updated) fingerprint matrix and reused at every
 // subsequent update (Constraint 1 of the self-augmented RSVD), which is why
 // a fresh survey of only the reference locations suffices.
+//
+// Performance: the ADMM state is kept transposed (grid columns are
+// contiguous rows), the fixed normal matrix I + A^T A is factored exactly
+// once per call (back-substitution only per iteration), the J-update's
+// singular-value thresholding runs through the n x n Gram eigenproblem
+// instead of an SVD of the tall iterate, and the per-column work of each
+// iteration fans out over iup::parallel with the same one-owner-per-output
+// determinism guarantee as the solver sweep.  Steady-state iterations
+// perform zero heap allocations.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +32,14 @@ struct LrrOptions {
   double rho = 1.6;         ///< penalty growth factor
   double tol = 1e-7;        ///< relative stopping tolerance
   std::size_t max_iters = 500;
+  /// Worker threads for the per-column fan-out of each ADMM iteration
+  /// (Z back-substitution, E shrinkage and the A*Z product; 0 = all
+  /// hardware threads).  Results are bit-identical for any value: every
+  /// grid column owns its slice of the iterate and the residual-norm
+  /// reductions stay serial.  Note: api::Engine overrides this with its
+  /// effective EngineConfig::threads() budget, exactly as it does for
+  /// RsvdOptions::threads — set the engine-wide knob there.
+  std::size_t threads = 1;
 };
 
 struct LrrResult {

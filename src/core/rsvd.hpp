@@ -70,6 +70,12 @@ struct RsvdProblem {
   linalg::Matrix b;     ///< M x N 0/1 index matrix (Eq. 8)
   linalg::Matrix p;     ///< M x N prediction X_R * Z (Constraint 1); may be
                         ///< empty when use_constraint1 is false
+  linalg::Matrix l0;    ///< optional M x r warm-start factor: when non-empty
+                        ///< and FactorInit::kWarmStart is selected,
+                        ///< Algorithm 1 starts from this L0 and skips the
+                        ///< SVD of the completed matrix.  api::Engine feeds
+                        ///< the previous snapshot's converged factor here
+                        ///< through its versioned warm-start cache.
 };
 
 struct RsvdResult {

@@ -154,6 +154,17 @@ linalg::Matrix SelfAugmentedRsvd::initial_factor(
   const std::size_t r =
       options_.rank == 0 ? m : std::min(options_.rank, problem.b.cols());
 
+  // Explicit warm start: reuse a previously converged factor (the engine's
+  // versioned cache) instead of paying for a fresh SVD.  kRandom ignores it
+  // so the paper's random-init ablation stays reproducible.
+  if (!problem.l0.empty() && options_.init == FactorInit::kWarmStart) {
+    if (problem.l0.rows() != m || problem.l0.cols() != r) {
+      throw std::invalid_argument(
+          "SelfAugmentedRsvd: warm-start factor shape mismatch");
+    }
+    return problem.l0;
+  }
+
   if (options_.init == FactorInit::kRandom) {
     rng::Rng rng(options_.init_seed);
     linalg::Matrix l0(m, r);

@@ -44,6 +44,13 @@ class SelfAugmentedRsvd {
   /// Run Algorithm 1 on a fully-specified problem.
   RsvdResult solve(const RsvdProblem& problem) const;
 
+  /// The L0 iterate solve() starts from (Algorithm 1 line 1): the explicit
+  /// problem.l0 when given (kWarmStart), otherwise the SVD factor of the
+  /// completed matrix, or a seeded random factor for kRandom.  Public so
+  /// callers that cache warm starts (api::Engine) and tests can reproduce
+  /// the initialisation exactly.
+  linalg::Matrix initial_factor(const RsvdProblem& problem) const;
+
  private:
   struct Weights {
     double w1 = 0.0;  ///< Constraint-1 weight (0 when disabled)
@@ -54,7 +61,6 @@ class SelfAugmentedRsvd {
   /// X_B completed with the Constraint-1 prediction (or row means): the
   /// warm-start matrix, also the reference iterate for auto-scaling.
   linalg::Matrix warm_matrix(const RsvdProblem& problem) const;
-  linalg::Matrix initial_factor(const RsvdProblem& problem) const;
   Weights effective_weights(const RsvdProblem& problem) const;
   double objective(const RsvdProblem& problem, const Weights& w,
                    const linalg::Matrix& l, const linalg::Matrix& r,

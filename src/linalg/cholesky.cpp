@@ -57,6 +57,16 @@ bool factor_spd_with_retry(Matrix& a, std::span<double> diag_scratch) {
 
 }  // namespace
 
+bool factor_spd(Matrix& a, std::span<double> diag_scratch) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("factor_spd: matrix must be square");
+  }
+  if (diag_scratch.size() != a.rows()) {
+    throw std::invalid_argument("factor_spd: diag scratch size mismatch");
+  }
+  return factor_spd_with_retry(a, diag_scratch);
+}
+
 std::optional<Matrix> cholesky(const Matrix& a) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("cholesky: matrix must be square");

@@ -40,6 +40,17 @@ std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
 /// (forward substitution runs in place, then back substitution).
 void cholesky_solve_in_place(const Matrix& l, std::span<double> bx);
 
+/// Factor an SPD matrix in place with the same deterministic diagonal-bump
+/// retry policy as solve_spd_into (failures/recoveries counted in the
+/// process-wide SpdStats).  `diag_scratch` must have length a.rows(); it
+/// receives the original diagonal.  On true, `a` holds a Cholesky factor
+/// usable with cholesky_solve_in_place; on false, `a` is restored to the
+/// symmetrised unbumped input so the caller can fall back to LU.  This is
+/// the factor-once entry point for solvers whose normal matrix is fixed
+/// across iterations (the LRR Z-update): factor here, back-substitute per
+/// iteration.
+bool factor_spd(Matrix& a, std::span<double> diag_scratch);
+
 /// Solve a x = b for SPD a.  Retries with a diagonal bump, then falls back
 /// to LU, so callers never have to branch on definiteness themselves.
 std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);

@@ -147,4 +147,58 @@ Matrix singular_value_threshold(const Matrix& a, double tau) {
   return d.reconstruct();
 }
 
+void eigh_sym_in_place(Matrix& a, Matrix& v) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigh_sym_in_place: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  v.resize(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const double eps = 1e-14;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Relative off-diagonal magnitude, measured against the diagonal scale
+    // exactly as the one-sided SVD sweeps measure column correlations.
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double scale =
+            std::sqrt(std::abs(a(p, p)) * std::abs(a(q, q)));
+        if (scale > 0.0) off = std::max(off, std::abs(apq) / scale);
+        if (scale > 0.0 && std::abs(apq) <= eps * scale) continue;
+
+        // Jacobi rotation zeroing a(p, q).
+        const double zeta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // Rotate rows/columns p and q of the symmetric iterate.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    if (off < eps) break;
+  }
+}
+
 }  // namespace iup::linalg

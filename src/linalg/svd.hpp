@@ -40,9 +40,25 @@ std::vector<double> singular_values(const Matrix& a);
 /// Numerical rank: number of singular values > rel_tol * sigma_max.
 std::size_t numerical_rank(const Matrix& a, double rel_tol = 1e-9);
 
-/// Soft-threshold the singular values: U * max(Sigma - tau, 0) * V^T.
-/// This is the proximal operator of the nuclear norm used by the LRR
-/// Augmented-Lagrange iterations.
+/// Soft-threshold the singular values: U * max(Sigma - tau, 0) * V^T —
+/// the proximal operator of the nuclear norm.  Allocating REFERENCE
+/// implementation: the LRR solver's production path computes the same
+/// operator through the small-side Gram eigenproblem (eigh_sym_in_place
+/// below) without an SVD of the tall iterate; this one stays as the
+/// ground truth the tests compare against.
 Matrix singular_value_threshold(const Matrix& a, double tau);
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations, in caller-owned
+/// storage: on entry `a` holds a symmetric matrix, on exit its diagonal
+/// holds the eigenvalues (unsorted) and `v` (resized, capacity-reusing) the
+/// matching orthonormal eigenvectors as columns, so a_in = V diag(d) V^T.
+/// The off-diagonals of `a` are reduced to numerical dust.
+///
+/// This is the allocation-free small-side kernel behind the LRR solver's
+/// singular-value thresholding: instead of an SVD of the tall N x n iterate
+/// per ADMM step, the n x n Gram matrix (n = MIC rank, 8 on the paper's
+/// testbeds) is eigendecomposed here.  The rotation schedule is a fixed
+/// cyclic (p, q) order, so results are deterministic.
+void eigh_sym_in_place(Matrix& a, Matrix& v);
 
 }  // namespace iup::linalg

@@ -1,0 +1,226 @@
+// Thread-count invariance of the correlation pipeline (MIC + LRR) and the
+// engine's versioned warm-start factor cache.
+//
+// The MIC column scoring and the LRR ADMM fan-out carry the same guarantee
+// as the solver sweep: 1 thread and N threads produce bit-identical
+// results, because every column owns its output slice and no floating-
+// point reduction depends on the chunk partition.  These tests compare
+// exact (operator==) equality, not tolerances — mirroring
+// solver_threads_test.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/engine.hpp"
+#include "core/lrr.hpp"
+#include "core/mic.hpp"
+#include "core/self_augmented.hpp"
+#include "eval/experiment.hpp"
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace iup {
+namespace {
+
+TEST(MicThreadInvariance, BitIdenticalAcrossThreadCounts) {
+  const auto& x = test::office_run().ground_truth.at_day(0);
+  const auto base = core::extract_mic(x, core::MicStrategy::kQrcp,
+                                      core::kMicDefaultRelTol, 1);
+  ASSERT_GT(base.rank, 0u);
+  for (const std::size_t threads : {2u, 3u, 8u, 0u /* auto */}) {
+    const auto other = core::extract_mic(
+        x, core::MicStrategy::kQrcp, core::kMicDefaultRelTol, threads);
+    EXPECT_EQ(other.reference_cells, base.reference_cells)
+        << threads << " threads";
+    EXPECT_EQ(other.x_mic, base.x_mic) << threads << " threads";
+    EXPECT_EQ(other.rank, base.rank) << threads << " threads";
+  }
+}
+
+TEST(MicThreadInvariance, SyntheticLowRankKeepsRankAtAnyThreadCount) {
+  rng::Rng rng(71);
+  const auto x = test::random_low_rank(6, 40, 4, rng);
+  const auto base = core::extract_mic(x, core::MicStrategy::kQrcp,
+                                      core::kMicDefaultRelTol, 1);
+  const auto par = core::extract_mic(x, core::MicStrategy::kQrcp,
+                                     core::kMicDefaultRelTol, 8);
+  EXPECT_EQ(base.rank, 4u);
+  EXPECT_EQ(par.reference_cells, base.reference_cells);
+  EXPECT_EQ(par.x_mic, base.x_mic);
+}
+
+TEST(LrrThreadInvariance, BitIdenticalAcrossThreadCounts) {
+  const auto& x = test::office_run().ground_truth.at_day(0);
+  const auto mic = core::extract_mic(x);
+  core::LrrOptions options;
+  options.threads = 1;
+  const auto base = core::solve_lrr(mic.x_mic, x, options);
+  ASSERT_GT(base.iterations, 0u);
+  for (const std::size_t threads : {2u, 3u, 8u, 0u /* auto */}) {
+    options.threads = threads;
+    const auto other = core::solve_lrr(mic.x_mic, x, options);
+    EXPECT_EQ(other.z, base.z) << threads << " threads";
+    EXPECT_EQ(other.e, base.e) << threads << " threads";
+    EXPECT_EQ(other.iterations, base.iterations) << threads << " threads";
+    EXPECT_EQ(other.residual, base.residual) << threads << " threads";
+    EXPECT_EQ(other.converged, base.converged) << threads << " threads";
+  }
+}
+
+TEST(LrrThreadInvariance, ParallelSolveStillPredictsHeldOutColumns) {
+  // Quality guard: the rewritten (parallel, Gram-side SVT) solver must
+  // keep the correlation property the pipeline relies on (cf.
+  // core_mic_lrr_test's serial variant).
+  const auto& x0 = test::office_run().ground_truth.at_day(0);
+  const auto mic = core::extract_mic(x0);
+  core::LrrOptions options;
+  options.threads = 8;
+  const auto lrr = core::solve_lrr(mic.x_mic, x0, options);
+  EXPECT_LT(linalg::relative_error(mic.x_mic * lrr.z, x0), 0.05);
+}
+
+TEST(SolverWarmStart, ExplicitL0ReproducesDefaultInitialisationExactly) {
+  // Passing the solver's own initial factor through RsvdProblem::l0 must
+  // change nothing: same iterates, bit for bit.
+  const auto& run = test::office_run();
+  const core::BandLayout layout = core::band_layout_of(run.b_mask);
+  core::RsvdOptions options;
+  options.max_iters = 6;
+  const core::SelfAugmentedRsvd solver(layout, options);
+
+  core::RsvdProblem problem;
+  problem.x_b = run.b_mask.hadamard(run.ground_truth.at_day(45));
+  problem.b = run.b_mask;
+  problem.p = run.ground_truth.at_day(0);
+
+  const core::RsvdResult cold = solver.solve(problem);
+  core::RsvdProblem warmed = problem;
+  warmed.l0 = solver.initial_factor(problem);
+  const core::RsvdResult warm = solver.solve(warmed);
+  EXPECT_EQ(warm.l, cold.l);
+  EXPECT_EQ(warm.r, cold.r);
+  EXPECT_EQ(warm.x_hat, cold.x_hat);
+  EXPECT_EQ(warm.objective_history, cold.objective_history);
+}
+
+TEST(SolverWarmStart, ShapeMismatchThrows) {
+  const auto& run = test::office_run();
+  const core::BandLayout layout = core::band_layout_of(run.b_mask);
+  core::RsvdOptions options;
+  options.max_iters = 1;
+  const core::SelfAugmentedRsvd solver(layout, options);
+  core::RsvdProblem problem;
+  problem.x_b = run.b_mask.hadamard(run.ground_truth.at_day(45));
+  problem.b = run.b_mask;
+  problem.p = run.ground_truth.at_day(0);
+  problem.l0 = linalg::Matrix(3, 2);
+  EXPECT_THROW((void)solver.solve(problem), std::invalid_argument);
+}
+
+TEST(EngineWarmStartCache, TracksCommittedVersions) {
+  const auto& run = test::office_run();
+  api::Engine engine{api::EngineConfig{}};
+  ASSERT_TRUE(eval::register_run(engine, run, "office").ok());
+  // Registration commits version 1 without a solve: no cached factor yet.
+  EXPECT_FALSE(engine.warm_start_version("office").has_value());
+
+  const auto cells = engine.reference_cells("office").value();
+  const auto r1 =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  ASSERT_EQ(r1.value().committed_version, 2u);
+  EXPECT_EQ(engine.warm_start_version("office"),
+            std::optional<std::uint64_t>{2});
+
+  const auto r2 =
+      engine.update(eval::collect_update_request(run, "office", cells, 45));
+  ASSERT_TRUE(r2.ok()) << r2.status().to_string();
+  EXPECT_EQ(engine.warm_start_version("office"),
+            std::optional<std::uint64_t>{3});
+
+  ASSERT_TRUE(engine.drop_site("office").ok());
+  EXPECT_FALSE(engine.warm_start_version("office").has_value());
+}
+
+TEST(EngineWarmStartCache, InvalidatedWhenTheSiteMovesWithoutASolve) {
+  const auto& run = test::office_run();
+  api::Engine engine{api::EngineConfig{}};
+  ASSERT_TRUE(eval::register_run(engine, run, "office").ok());
+  const auto cells = engine.reference_cells("office").value();
+
+  const auto r1 =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(engine.warm_start_version("office"),
+            std::optional<std::uint64_t>{2});
+
+  // set_reference_cells commits version 3 without running the solver: the
+  // cache still holds the version-2 factor, which no current snapshot
+  // matches — the next solve must initialise cold, then re-cache at its
+  // own committed version.
+  ASSERT_TRUE(engine.set_reference_cells("office", cells).ok());
+  ASSERT_EQ(engine.snapshot("office").value()->version(), 3u);
+  EXPECT_EQ(engine.warm_start_version("office"),
+            std::optional<std::uint64_t>{2});
+
+  const auto r2 =
+      engine.update(eval::collect_update_request(run, "office", cells, 45));
+  ASSERT_TRUE(r2.ok()) << r2.status().to_string();
+  EXPECT_EQ(r2.value().committed_version, 4u);
+  EXPECT_EQ(engine.warm_start_version("office"),
+            std::optional<std::uint64_t>{4});
+}
+
+TEST(EngineWarmStartCache, DisabledEngineNeverCaches) {
+  const auto& run = test::office_run();
+  api::Engine engine(api::EngineConfig().warm_start(false));
+  ASSERT_TRUE(eval::register_run(engine, run, "office").ok());
+  const auto cells = engine.reference_cells("office").value();
+  const auto r1 =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(engine.warm_start_version("office").has_value());
+}
+
+TEST(EngineWarmStartCache, BackendThatIgnoresL0NeverCaches) {
+  // A kRandom-init solver never consumes problem.l0
+  // (SolverBackend::uses_warm_start() is false), so the engine must not
+  // pay for factor copies or retain cache memory for it.
+  const auto& run = test::office_run();
+  core::RsvdOptions options;
+  options.init = core::FactorInit::kRandom;
+  api::Engine engine(api::EngineConfig().rsvd(options));
+  ASSERT_TRUE(eval::register_run(engine, run, "office").ok());
+  const auto cells = engine.reference_cells("office").value();
+  const auto r1 =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  EXPECT_FALSE(engine.warm_start_version("office").has_value());
+}
+
+TEST(EngineWarmStartCache, WarmAndColdChainsStayThreadInvariant) {
+  // The headline guarantee survives the cache: a serial and a parallel
+  // engine evolve identical caches and produce bit-identical chains.
+  const auto& run = test::office_run();
+  api::Engine serial(api::EngineConfig().threads(1));
+  api::Engine parallel(api::EngineConfig().threads(8));
+  ASSERT_TRUE(eval::register_run(serial, run, "office").ok());
+  ASSERT_TRUE(eval::register_run(parallel, run, "office").ok());
+  const auto cells = serial.reference_cells("office").value();
+
+  for (const std::size_t day : {15u, 45u, 90u}) {
+    const auto request =
+        eval::collect_update_request(run, "office", cells, day);
+    const auto a = serial.update(request);
+    const auto b = parallel.update(request);
+    ASSERT_TRUE(a.ok()) << a.status().to_string();
+    ASSERT_TRUE(b.ok()) << b.status().to_string();
+    EXPECT_EQ(b.value().x_hat(), a.value().x_hat()) << "day " << day;
+    EXPECT_EQ(b.value().snapshot->correlation(),
+              a.value().snapshot->correlation())
+        << "day " << day;
+  }
+}
+
+}  // namespace
+}  // namespace iup

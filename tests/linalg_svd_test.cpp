@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "linalg/norms.hpp"
 #include "test_util.hpp"
@@ -134,6 +136,60 @@ INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeSweep,
                                            std::pair{8, 1}, std::pair{2, 2},
                                            std::pair{5, 10}, std::pair{10, 5},
                                            std::pair{8, 96}, std::pair{16, 16}));
+
+TEST(EighSym, ReconstructsARandomSymmetricMatrix) {
+  rng::Rng rng(61);
+  const Matrix b = random_matrix(6, 6, rng);
+  const Matrix a = b + b.transpose();
+  Matrix work = a;
+  Matrix v;
+  eigh_sym_in_place(work, v);
+  // V diag(d) V^T == A, with d read off the diagonal of the rotated input.
+  Matrix recon(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) {
+        acc += v(i, k) * work(k, k) * v(j, k);
+      }
+      recon(i, j) = acc;
+    }
+  }
+  expect_matrix_near(recon, a, 1e-9);
+  // Eigenvectors are orthonormal.
+  expect_matrix_near(v.gram(), Matrix::identity(6), 1e-10);
+}
+
+TEST(EighSym, GramEigenvaluesMatchSingularValuesSquared) {
+  // The LRR SVT contract: the eigenvalues of A^T A are the squared
+  // singular values of A (here a tall iterate like the LRR's N x n state).
+  rng::Rng rng(62);
+  const Matrix a = random_low_rank(40, 5, 3, rng);
+  Matrix g = a.gram();
+  Matrix v;
+  eigh_sym_in_place(g, v);
+  std::vector<double> eig(5);
+  for (std::size_t k = 0; k < 5; ++k) eig[k] = std::max(0.0, g(k, k));
+  std::sort(eig.begin(), eig.end(), std::greater<>());
+  const auto s = singular_values(a);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(std::sqrt(eig[k]), s[k], 1e-8 * (1.0 + s[0]));
+  }
+}
+
+TEST(EighSym, DiagonalAndNonSquareEdgeCases) {
+  Matrix d = Matrix::diag({4.0, -2.0, 7.0});
+  Matrix v;
+  eigh_sym_in_place(d, v);
+  // Already diagonal: no rotations, eigenvalues in place, V = I.
+  EXPECT_DOUBLE_EQ(d(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), -2.0);
+  EXPECT_DOUBLE_EQ(d(2, 2), 7.0);
+  expect_matrix_near(v, Matrix::identity(3), 0.0);
+
+  Matrix bad(2, 3);
+  EXPECT_THROW(eigh_sym_in_place(bad, v), std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace iup::linalg
