@@ -14,6 +14,8 @@
 #include "core/mic.hpp"
 #include "core/updater.hpp"
 #include "eval/experiment.hpp"
+#include "linalg/kernels/gemm.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/svd.hpp"
 #include "loc/omp.hpp"
 #include "rng/rng.hpp"
@@ -189,6 +191,80 @@ void BM_MicExtractionThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MicExtractionThreads)->Arg(8);
+
+// --- PR 4 additions (SIMD kernel layer + ADMM warm start), appended last
+// per the code-layout note above.
+
+// The dot micro-kernel at the sweep's factor width (16) and a grid-row
+// width (4096).  Sub-microsecond: gated by the bench_check noise floor.
+void BM_KernelDot(benchmark::State& state) {
+  rng::Rng rng(21);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  for (double& v : a) v = rng.normal();
+  for (double& v : b) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::kernels::dot(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_KernelDot)->Arg(16)->Arg(4096);
+
+// The packed register-blocked GEMM micro-kernel on a warehouse-scale
+// product (4096x16 factors) and a square blocked shape.
+void BM_KernelGemm(benchmark::State& state) {
+  rng::Rng rng(22);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n;
+  const std::size_t k = 16;
+  std::vector<double> a(m * k), b(k * n), c(m * n, 0.0);
+  for (double& v : a) v = rng.normal();
+  for (double& v : b) v = rng.normal();
+  for (auto _ : state) {
+    linalg::kernels::gemm_accumulate(a.data(), k, b.data(), n, c.data(), n,
+                                     m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_KernelGemm)->Arg(96)->Arg(512);
+
+// Warm vs cold correlation refresh: the engine scenario, where the
+// previous snapshot's ADMM state seeds the re-acquisition on a drifted
+// database.  Pairs with BM_LrrCorrelation (the cold baseline above).
+void BM_LrrCorrelationWarm(benchmark::State& state) {
+  const auto& run = office();
+  const auto& x0 = run.ground_truth.at_day(0);
+  const auto& x1 = run.ground_truth.at_day(45);
+  const auto mic0 = core::extract_mic(x0);
+  const core::LrrOptions options;
+  const auto cold = core::solve_lrr(mic0.x_mic, x0, options);
+  core::LrrWarmStart warm;
+  warm.z = cold.z;
+  warm.y1 = cold.y1;
+  warm.y2 = cold.y2;
+  warm.mu = cold.mu_final;
+  const auto mic1 = core::mic_from_cells(x1, mic0.reference_cells);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_lrr(mic1.x_mic, x1, options, &warm));
+  }
+}
+BENCHMARK(BM_LrrCorrelationWarm);
+
+// The batched RASS hyperparameter grid (3 C candidates x 2 axes, one
+// fan-out).  Arg is the thread budget; multi-thread rows are on the
+// bench-gate skip list (wall clock is a property of the host's cores).
+void BM_RassGridSearch(benchmark::State& state) {
+  const auto& run = office();
+  const auto& x = run.ground_truth.at_day(0);
+  baselines::RassOptions options;
+  options.c_grid = {1.0, 10.0, 100.0};
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    baselines::Rass rass(x, run.testbed.deployment(), options);
+    benchmark::DoNotOptimize(rass);
+  }
+}
+BENCHMARK(BM_RassGridSearch)->Arg(1)->Arg(8);
 
 }  // namespace
 

@@ -41,6 +41,17 @@ DEFAULT_SKIP = [
     r"^BM_MicExtractionThreads/\d+$",
     r"^BM_UpdateBatchFourSites/(?!1$)\d+$",
     r"^BM_LocalizeBatch/(?!1$)\d+$",
+    r"^BM_RassGridSearch/(?!1$)\d+$",
+]
+
+# Per-row noise-floor overrides (regex -> ns).  The dot micro-kernel rows
+# run in nanoseconds: on a shared CI box their wall clock is dominated by
+# frequency/turbo state, so they get a floor generous enough that they
+# only ever warn.  The GEMM rows run hundreds of microseconds and are
+# real measurements — they stay on the normal gate.  Matched before
+# --noise-floor-ns; first hit wins.
+ROW_NOISE_FLOORS = [
+    (r"^BM_KernelDot", 50000.0),
 ]
 
 
@@ -104,7 +115,12 @@ def main():
             print(line + "  [skipped: noisy row]")
             continue
         if ratio > 1.0 + args.max_regression:
-            if base[name] < args.noise_floor_ns and fresh[name] < args.noise_floor_ns:
+            floor = args.noise_floor_ns
+            for pattern, row_floor in ROW_NOISE_FLOORS:
+                if re.search(pattern, name):
+                    floor = row_floor
+                    break
+            if base[name] < floor and fresh[name] < floor:
                 print(line + "  [warn: below noise floor]")
                 continue
             failures.append((name, ratio))

@@ -9,6 +9,8 @@
 #                    (numbers under instrumentation are meaningless)
 #   CTEST_FILTER     regex for ctest -R (the TSan job restricts itself to
 #                    the thread-pool / determinism suites)
+#   ARCH             -march target forwarded as -DIUP_ARCH (the AVX2 cell
+#                    passes x86-64-v3 to exercise the SIMD kernel level)
 # ccache is picked up automatically when it is on PATH (the CI matrix
 # installs it via hendrikmuhs/ccache-action so warm builds stay fast).
 set -euo pipefail
@@ -20,6 +22,9 @@ CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
             -DIUP_API_WERROR=ON)
 if [ -n "${SANITIZE:-}" ]; then
   CMAKE_ARGS+=(-DIUP_SANITIZE="$SANITIZE")
+fi
+if [ -n "${ARCH:-}" ]; then
+  CMAKE_ARGS+=(-DIUP_ARCH="$ARCH")
 fi
 if command -v ccache > /dev/null 2>&1; then
   CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)

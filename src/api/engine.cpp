@@ -14,7 +14,7 @@ namespace iup::api {
 
 std::unique_ptr<loc::Localizer> make_localizer(
     LocalizerKind kind, const linalg::Matrix& database,
-    const sim::Deployment* deployment) {
+    const sim::Deployment* deployment, std::size_t threads) {
   switch (kind) {
     case LocalizerKind::kOmp:
       return std::make_unique<loc::OmpLocalizer>(database,
@@ -24,9 +24,13 @@ std::unique_ptr<loc::Localizer> make_localizer(
       knn->set_deployment(deployment);
       return knn;
     }
-    case LocalizerKind::kRass:
+    case LocalizerKind::kRass: {
       if (deployment == nullptr) return nullptr;
-      return std::make_unique<baselines::Rass>(database, *deployment);
+      baselines::RassOptions options;
+      options.threads = threads;
+      return std::make_unique<baselines::Rass>(database, *deployment,
+                                               options);
+    }
   }
   return nullptr;
 }
@@ -49,6 +53,28 @@ Engine::Engine(EngineConfig config)
                                 config_.solver_name() + "'");
   }
   warm_start_enabled_ = config_.warm_start() && backend_->uses_warm_start();
+  lrr_warm_enabled_ = config_.lrr_warm_start();
+}
+
+std::shared_ptr<const core::LrrWarmStart> Engine::lrr_warm_for(
+    const std::string& site, std::uint64_t version) const {
+  if (!lrr_warm_enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(*state_mutex_);
+  const auto it = warm_starts_.find(site);
+  if (it == warm_starts_.end() || it->second.lrr_version != version) {
+    return nullptr;
+  }
+  return it->second.lrr;
+}
+
+std::shared_ptr<const core::LrrWarmStart> Engine::lrr_state_of(
+    const linalg::Matrix& z, core::LrrResult&& result) {
+  auto state = std::make_shared<core::LrrWarmStart>();
+  state->z = z;
+  state->y1 = std::move(result.y1);
+  state->y2 = std::move(result.y2);
+  state->mu = result.mu_final;
+  return state;
 }
 
 Result<SnapshotPtr> Engine::register_site(std::string site,
@@ -84,6 +110,7 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
 
   core::MicResult mic;
   linalg::Matrix z;
+  std::shared_ptr<const core::LrrWarmStart> lrr_state;
   try {
     mic = core::extract_mic(x_original, config_.mic_strategy(),
                             core::kMicDefaultRelTol, config_.threads());
@@ -92,7 +119,12 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
           "register_site: fingerprint matrix has rank 0, no reference "
           "locations can be selected");
     }
-    z = core::acquire_correlation(mic, x_original, lrr_options_);
+    core::LrrResult lrr =
+        core::acquire_correlation_full(mic, x_original, lrr_options_);
+    z = std::move(lrr.z);
+    // Seed the refresh warm-start cache from the registration solve, so
+    // even the site's first update refreshes warm.
+    if (lrr_warm_enabled_) lrr_state = lrr_state_of(z, std::move(lrr));
   } catch (const std::exception& e) {
     return Status::internal(std::string("register_site: ") + e.what());
   }
@@ -109,6 +141,11 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
       std::move(b_mask), layout, std::move(mic.reference_cells),
       std::move(z));
   if (const Status put = store_.put(snapshot); !put.ok()) return put;
+  if (lrr_state != nullptr) {
+    WarmStart& ws = warm_starts_[snapshot->site()];
+    ws.lrr_version = snapshot->version();
+    ws.lrr = std::move(lrr_state);
+  }
   return SnapshotPtr(std::move(snapshot));
 }
 
@@ -124,8 +161,20 @@ std::optional<std::uint64_t> Engine::warm_start_version(
     const std::string& site) const {
   std::lock_guard<std::mutex> lock(*state_mutex_);
   const auto it = warm_starts_.find(site);
-  if (it == warm_starts_.end()) return std::nullopt;
+  if (it == warm_starts_.end() || it->second.l0 == nullptr) {
+    return std::nullopt;
+  }
   return it->second.version;
+}
+
+std::optional<std::uint64_t> Engine::lrr_warm_version(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(*state_mutex_);
+  const auto it = warm_starts_.find(site);
+  if (it == warm_starts_.end() || it->second.lrr == nullptr) {
+    return std::nullopt;
+  }
+  return it->second.lrr_version;
 }
 
 Status Engine::attach_deployment(const std::string& site,
@@ -179,13 +228,19 @@ Status Engine::set_reference_cells(const std::string& site,
     }
   }
 
-  Result<linalg::Matrix> refreshed =
-      refreshed_correlation(snap->database(), cells);
+  // A reference-set change invalidates any cached ADMM state by shape, so
+  // this refresh always solves cold (the convergence-preserving reset) —
+  // and its state re-seeds the cache for the version it commits.
+  Result<core::LrrResult> refreshed =
+      refreshed_correlation(snap->database(), cells, nullptr);
   if (!refreshed.ok()) {
     return Status::internal("set_reference_cells: " +
                             refreshed.status().message());
   }
-  linalg::Matrix z = std::move(refreshed).value();
+  core::LrrResult lrr = std::move(refreshed).value();
+  linalg::Matrix z = std::move(lrr.z);
+  std::shared_ptr<const core::LrrWarmStart> lrr_state;
+  if (lrr_warm_enabled_) lrr_state = lrr_state_of(z, std::move(lrr));
 
   std::lock_guard<std::mutex> lock(*state_mutex_);
   if (store_.next_version(site) != snap->version() + 1) {
@@ -197,7 +252,13 @@ Status Engine::set_reference_cells(const std::string& site,
   auto next = std::make_shared<FingerprintSnapshot>(
       site, snap->version() + 1, snap->database(), snap->mask(),
       snap->layout(), std::move(cells), std::move(z), snap->day());
-  return store_.put(std::move(next));
+  if (const Status put = store_.put(next); !put.ok()) return put;
+  if (lrr_state != nullptr) {
+    WarmStart& ws = warm_starts_[site];
+    ws.lrr_version = next->version();
+    ws.lrr = std::move(lrr_state);
+  }
+  return Status();
 }
 
 Result<UpdateResult> Engine::solve_request(const FingerprintSnapshot& snap,
@@ -261,12 +322,12 @@ Result<UpdateResult> Engine::reconstruct(const UpdateRequest& request) const {
   return solve_request(*latest.value(), request);
 }
 
-Result<linalg::Matrix> Engine::refreshed_correlation(
-    const linalg::Matrix& x_hat,
-    const std::vector<std::size_t>& cells) const {
+Result<core::LrrResult> Engine::refreshed_correlation(
+    const linalg::Matrix& x_hat, const std::vector<std::size_t>& cells,
+    const core::LrrWarmStart* warm) const {
   try {
     const core::MicResult mic = core::mic_from_cells(x_hat, cells);
-    return core::acquire_correlation(mic, x_hat, lrr_options_);
+    return core::acquire_correlation_full(mic, x_hat, lrr_options_, warm);
   } catch (const std::exception& e) {
     return Status::internal(std::string("correlation refresh: ") + e.what());
   }
@@ -287,16 +348,23 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
   // Post-solve correlation refresh: the reconstruction becomes the latest
   // database; optionally re-acquire Z from it for the next cycle (the
   // paper's "original or latest updated" phrasing).  Runs outside the
-  // lock, over the engine's thread budget.
+  // lock, over the engine's thread budget, warm-started from the ADMM
+  // state cached for the exact snapshot this update read (version jumps
+  // reset to a cold solve).
   std::vector<std::size_t> cells = snap->reference_cells();
   linalg::Matrix z = snap->correlation();
+  std::shared_ptr<const core::LrrWarmStart> lrr_state;
   if (config_.refresh_correlation()) {
-    Result<linalg::Matrix> refreshed =
-        refreshed_correlation(result.solver.x_hat, cells);
+    const std::shared_ptr<const core::LrrWarmStart> lrr_warm =
+        lrr_warm_for(request.site, snap->version());
+    Result<core::LrrResult> refreshed =
+        refreshed_correlation(result.solver.x_hat, cells, lrr_warm.get());
     if (!refreshed.ok()) {
       return Status::internal("update: " + refreshed.status().message());
     }
-    z = std::move(refreshed).value();
+    core::LrrResult lrr = std::move(refreshed).value();
+    z = std::move(lrr.z);
+    if (lrr_warm_enabled_) lrr_state = lrr_state_of(z, std::move(lrr));
   }
 
   // Copy the converged factor for the cache before taking the lock (only
@@ -328,6 +396,11 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
     ws.version = next->version();
     ws.l0 = std::move(warm_factor);
   }
+  if (lrr_state != nullptr) {
+    WarmStart& ws = warm_starts_[request.site];
+    ws.lrr_version = next->version();
+    ws.lrr = std::move(lrr_state);
+  }
   result.committed_version = next->version();
   result.snapshot = std::move(next);
   return result;
@@ -354,9 +427,14 @@ std::vector<Result<UpdateResult>> Engine::update_batch(
   // exactly the snapshots and returns exactly the Results of the
   // sequential loop above.  Each chain carries its own post-commit MIC +
   // LRR correlation refresh, so site A's refresh overlaps site B's solve
-  // instead of serialising the whole batch behind the refreshes; a
-  // single-group batch runs inline on the caller, where the refresh's own
-  // MIC/LRR column fan-out gets the full thread budget.
+  // instead of serialising the whole batch behind the refreshes.  With
+  // fewer active chains than pool threads the surplus budget flows into
+  // the chains' solver/LRR fan-outs through the pool's budgeted nesting
+  // (iup::parallel submits one nested level to the shared queue): each
+  // chain's sweeps still partition by the engine-wide thread knob, and
+  // idle workers execute whichever chain's chunks are queued.  Results
+  // stay bit-identical to the sequential order — partitions depend only
+  // on (n, threads), never on which thread runs a chunk.
   std::vector<std::vector<std::size_t>> groups;
   std::unordered_map<std::string, std::size_t> group_of;
   for (std::size_t k = 0; k < requests.size(); ++k) {
@@ -404,7 +482,8 @@ Result<std::shared_ptr<const loc::Localizer>> Engine::localizer_for(
   // simply discarded below.
   std::shared_ptr<const loc::Localizer> built;
   try {
-    built = make_localizer(config_.localizer(), snap->database(), deployment);
+    built = make_localizer(config_.localizer(), snap->database(), deployment,
+                           config_.threads());
   } catch (const std::exception& e) {
     return Status::internal(std::string("localizer construction: ") +
                             e.what());

@@ -61,9 +61,12 @@ struct UpdateResult {
 /// Build a localizer of `kind` over `database`.  `deployment` enables
 /// geometry-aware matching (KNN centroid averaging) and is mandatory for
 /// kRass; returns nullptr when it is missing for a kind that requires it.
+/// `threads` is the training budget for localizers that learn a model at
+/// construction (kRass SVR training: kernel-matrix rows + the per-axis
+/// fits fan out over iup::parallel, bit-identical for any value).
 std::unique_ptr<loc::Localizer> make_localizer(
     LocalizerKind kind, const linalg::Matrix& database,
-    const sim::Deployment* deployment = nullptr);
+    const sim::Deployment* deployment = nullptr, std::size_t threads = 1);
 
 class Engine {
  public:
@@ -135,6 +138,11 @@ class Engine {
   std::optional<std::uint64_t> warm_start_version(
       const std::string& site) const;
 
+  /// Snapshot version of the site's cached LRR ADMM warm-start state
+  /// (correlation refresh), or nullopt when empty.  Same exact-match
+  /// consultation rule as warm_start_version().
+  std::optional<std::uint64_t> lrr_warm_version(const std::string& site) const;
+
  private:
   /// Validate `request` against `snapshot` and run the solver, seeding it
   /// from the warm-start cache when the cached version matches.
@@ -143,13 +151,22 @@ class Engine {
 
   /// Post-commit correlation refresh: gather the reference columns of
   /// `x_hat` (MIC) and re-solve the LRR for Z, both over the engine's
-  /// thread budget (lrr_options_).  Runs outside the state lock; in
-  /// update_batch the per-site refreshes execute concurrently across
-  /// sites, and at top level (single-site batches, plain update()) the
-  /// LRR's own column fan-out uses the full budget.
-  Result<linalg::Matrix> refreshed_correlation(
-      const linalg::Matrix& x_hat,
-      const std::vector<std::size_t>& cells) const;
+  /// thread budget (lrr_options_), warm-starting the ADMM from `warm`
+  /// when given.  Runs outside the state lock; in update_batch the
+  /// per-site refreshes execute concurrently across sites, and at top
+  /// level (single-site batches, plain update()) the LRR's own column
+  /// fan-out uses the full budget.
+  Result<core::LrrResult> refreshed_correlation(
+      const linalg::Matrix& x_hat, const std::vector<std::size_t>& cells,
+      const core::LrrWarmStart* warm) const;
+
+  /// Cached LRR state for solves reading snapshot `version` of `site`
+  /// (nullptr on version mismatch / empty cache), and the store side.
+  /// Both only touch state_mutex_ long enough to exchange the pointer.
+  std::shared_ptr<const core::LrrWarmStart> lrr_warm_for(
+      const std::string& site, std::uint64_t version) const;
+  static std::shared_ptr<const core::LrrWarmStart> lrr_state_of(
+      const linalg::Matrix& z, core::LrrResult&& result);
   /// Shared ownership so an in-flight localize keeps its localizer alive
   /// even when a concurrent update/drop replaces the cache entry.
   Result<std::shared_ptr<const loc::Localizer>> localizer_for(
@@ -163,6 +180,9 @@ class Engine {
   /// warm_start() requested AND the backend actually consumes problem.l0;
   /// otherwise the cache is bypassed entirely (no copies, no retention).
   bool warm_start_enabled_ = false;
+  /// config_.lrr_warm_start(): cache + resume the ADMM state of the
+  /// correlation refreshes.
+  bool lrr_warm_enabled_ = false;
   /// Guards store_, deployments_ and localizers_ during batched fan-outs.
   /// Solver and localization work always runs outside this lock.  Held by
   /// unique_ptr so Engine stays movable (moving an Engine while a batch is
@@ -189,6 +209,13 @@ class Engine {
     /// Shared so readers/writers exchange a pointer under state_mutex_ and
     /// copy the matrix outside the lock.
     std::shared_ptr<const linalg::Matrix> l0;
+    /// LRR ADMM state (Z + multipliers + penalty) of the refresh that
+    /// produced lrr_version's correlation — the warm start for the next
+    /// refresh of that exact snapshot.  Versioned separately from the
+    /// factor: registration and set_reference_cells seed it without a
+    /// solver run.
+    std::uint64_t lrr_version = 0;
+    std::shared_ptr<const core::LrrWarmStart> lrr;
   };
   mutable std::unordered_map<std::string, WarmStart> warm_starts_;
 };

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "baselines/svr.hpp"
 #include "geom/geometry.hpp"
@@ -20,6 +21,20 @@ namespace iup::baselines {
 
 struct RassOptions {
   SvrOptions svr;
+  /// Optional hyperparameter grid for the box constraint C: when
+  /// non-empty, one SVR per (candidate, axis) is trained on a
+  /// deterministic holdout split — the whole grid batched through one
+  /// iup::parallel fan-out — the candidate with the lowest held-out mean
+  /// squared error wins per axis (ties break to the earliest candidate,
+  /// so the selection is deterministic for any thread count), and the
+  /// winner is refit on the full grid.  Empty (default) trains svr.c
+  /// directly, exactly the pre-grid behaviour.
+  std::vector<double> c_grid;
+  /// Worker threads for the grid fan-out and the per-fit kernel-matrix
+  /// construction (0 = all hardware threads).  Bit-identical results for
+  /// any value: every candidate fit and every kernel-matrix row has
+  /// exactly one owner.
+  std::size_t threads = 1;
 };
 
 class Rass final : public loc::Localizer {

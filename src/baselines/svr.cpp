@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/vec.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 
 namespace iup::baselines {
@@ -17,12 +19,8 @@ Svr::Svr(SvrOptions options) : options_(options) {
 }
 
 double Svr::kernel(std::span<const double> a, std::span<const double> b) const {
-  double acc = 0.0;
-  for (std::size_t k = 0; k < a.size(); ++k) {
-    const double d = a[k] - b[k];
-    acc += d * d;
-  }
-  return std::exp(-gamma_ * acc);
+  return std::exp(
+      -gamma_ * linalg::kernels::diff_norm_sq(a.data(), b.data(), a.size()));
 }
 
 std::vector<double> Svr::standardize(std::span<const double> raw) const {
@@ -58,13 +56,22 @@ void Svr::fit(const linalg::Matrix& x, const std::vector<double>& y) {
                : 1.0 / static_cast<double>(d);  // features are unit variance
 
   // Kernel matrix (training sets here are <= a few hundred samples).
+  // Upper-triangle rows fan out over the pool — every row is written by
+  // exactly one chunk, so the matrix is bit-identical for any thread
+  // count; the mirror stays serial.
   linalg::Matrix kmat(n, n);
+  parallel::parallel_for(
+      parallel::resolve_threads(options_.threads), n,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = i; j < n; ++j) {
+            kmat(i, j) =
+                kernel(train_x_.row_span(i), train_x_.row_span(j));
+          }
+        }
+      });
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double v = kernel(train_x_.row_span(i), train_x_.row_span(j));
-      kmat(i, j) = v;
-      kmat(j, i) = v;
-    }
+    for (std::size_t j = i + 1; j < n; ++j) kmat(j, i) = kmat(i, j);
   }
 
   beta_.assign(n, 0.0);
@@ -126,27 +133,34 @@ void Svr::fit(const linalg::Matrix& x, const std::vector<double>& y) {
     const double dj = new_j - beta_[j];
     beta_[i] = new_i;
     beta_[j] = new_j;
-    for (std::size_t k = 0; k < n; ++k) {
-      f[k] += di * kmat(i, k) + dj * kmat(j, k);
-    }
+    // Fused prediction refresh over two contiguous kernel rows.
+    linalg::kernels::axpy2(di, kmat.row_span(i).data(), dj,
+                           kmat.row_span(j).data(), f.data(), n);
     return improvement;
   };
 
   rng::Rng rng(options_.seed);
+  std::vector<double> gap(n);
   for (std::size_t epoch = 0; epoch < options_.max_epochs; ++epoch) {
     double epoch_improvement = 0.0;
     const auto order = rng.permutation(n);
     for (std::size_t a = 0; a < n; ++a) {
       // Pair the shuffled index with the sample whose prediction error is
-      // most violating relative to it (cheap working-set heuristic).
+      // most violating relative to it (cheap working-set heuristic).  Gap
+      // evaluation is split out of the argmax scan so it vectorises; the
+      // serial scan keeps the exact first-strict-maximum tie-breaking of
+      // the fused loop.
       const std::size_t i = order[a];
+      const double err_i = y[i] - f[i];
+      for (std::size_t k = 0; k < n; ++k) {
+        gap[k] = std::abs(err_i - (y[k] - f[k]));
+      }
       std::size_t j = i == 0 ? 1 : 0;
       double best_gap = -1.0;
       for (std::size_t k = 0; k < n; ++k) {
         if (k == i) continue;
-        const double gap = std::abs((y[i] - f[i]) - (y[k] - f[k]));
-        if (gap > best_gap) {
-          best_gap = gap;
+        if (gap[k] > best_gap) {
+          best_gap = gap[k];
           j = k;
         }
       }

@@ -71,7 +71,7 @@ void svt_via_gram(LrrWorkspace& ws, double tau) {
 }  // namespace
 
 LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
-                    const LrrOptions& options) {
+                    const LrrOptions& options, const LrrWarmStart* warm) {
   if (a.rows() != x.rows()) {
     throw std::invalid_argument("solve_lrr: dictionary/data row mismatch");
   }
@@ -84,6 +84,16 @@ LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
   linalg::transpose_into(x, ws.xt);
   linalg::transpose_into(a, ws.at);
 
+  // Warm restart: accept the previous correlation only when its shape
+  // matches this problem exactly (a reference-set change resets to cold —
+  // the convergence-preserving reset).  Multipliers and the resumed
+  // penalty ride along only with an accepted Z.
+  const bool warm_z =
+      warm != nullptr && warm->z.rows() == n && warm->z.cols() == big_n;
+  const bool warm_y = warm_z && warm->y1.rows() == m &&
+                      warm->y1.cols() == big_n && warm->y2.rows() == n &&
+                      warm->y2.cols() == big_n;
+
   // The Z-update normal matrix I + A^T A is fixed for the whole ADMM run:
   // factor it exactly once (with the deterministic diagonal-bump retry of
   // the SPD pipeline) and back-substitute per iteration.
@@ -94,17 +104,36 @@ LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
     throw std::runtime_error("solve_lrr: (I + A^T A) not SPD (numerical)");
   }
 
-  ws.zt.resize(big_n, n);
+  if (warm_z) {
+    linalg::transpose_into(warm->z, ws.zt);
+  } else {
+    ws.zt.resize(big_n, n);
+  }
   ws.jt.resize(big_n, n);
-  ws.y2t.resize(big_n, n);
+  if (warm_y) {
+    linalg::transpose_into(warm->y2, ws.y2t);
+    linalg::transpose_into(warm->y1, ws.y1t);
+  } else {
+    ws.y2t.resize(big_n, n);
+    ws.y1t.resize(big_n, m);
+  }
   ws.et.resize(big_n, m);
-  ws.y1t.resize(big_n, m);
   ws.dt.resize(big_n, m);
   ws.azt.resize(big_n, m);
   ws.jin.resize(big_n, n);
 
   const double x_norm = std::max(linalg::frobenius_norm(x), 1e-12);
   double mu = options.mu;
+  if (warm_z && warm->mu > 0.0) {
+    // Resume the penalty two growth steps below where the previous solve
+    // stopped: near-final mu keeps the SVT threshold small immediately
+    // (no warm-up phase), while the rho^2 headroom leaves the first few
+    // iterations enough step size to absorb the drift in X.
+    mu = std::clamp(warm->mu / (options.rho * options.rho), options.mu,
+                    options.mu_max);
+  }
+  const bool adaptive = options.adaptive_rho || (warm_z && warm->mu > 0.0);
+  double prev_r_max = -1.0;
   LrrResult out;
 
   for (std::size_t it = 0; it < options.max_iters; ++it) {
@@ -146,7 +175,7 @@ LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
               zrow[jj] = linalg::dot(arow, d) + jrow[jj] +
                          (linalg::dot(arow, y1row) - y2row[jj]) * inv_mu;
             }
-            linalg::cholesky_solve_in_place(ws.lfac, zrow);
+            linalg::solve_factored_spd(ws.lfac, zrow);
 
             const auto azrow = ws.azt.row_span(r);
             for (std::size_t i = 0; i < m; ++i) {
@@ -192,20 +221,31 @@ LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
         r2_sq += res * res;
       }
     }
-    mu = std::min(options.rho * mu, options.mu_max);
-
     out.iterations = it + 1;
     const double r1 = std::sqrt(r1_sq) / x_norm;
     const double r2 = std::sqrt(r2_sq) / x_norm;
     out.residual = r1;
+    const double r_max = std::max(r1, r2);
+    // Adaptive mu: while the combined residual stagnates the penalty is
+    // too small to make progress — grow it by rho^2; once the residual
+    // contracts geometrically, fall back to the plain rho schedule.
+    double rho_eff = options.rho;
+    if (adaptive && prev_r_max >= 0.0 && r_max > 0.9 * prev_r_max) {
+      rho_eff = options.rho * options.rho;
+    }
+    prev_r_max = r_max;
+    mu = std::min(rho_eff * mu, options.mu_max);
     if (r1 < options.tol && r2 < options.tol) {
       out.converged = true;
       break;
     }
   }
 
+  out.mu_final = mu;
   linalg::transpose_into(ws.zt, out.z);
   linalg::transpose_into(ws.et, out.e);
+  linalg::transpose_into(ws.y1t, out.y1);
+  linalg::transpose_into(ws.y2t, out.y2);
   return out;
 }
 

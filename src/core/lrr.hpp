@@ -32,6 +32,17 @@ struct LrrOptions {
   double rho = 1.6;         ///< penalty growth factor
   double tol = 1e-7;        ///< relative stopping tolerance
   std::size_t max_iters = 500;
+  /// Adaptive mu scheduling: while the combined residual stagnates
+  /// (> 90% of the previous iteration's) the penalty grows by rho^2
+  /// instead of rho, skipping most of the small-mu warm-up phase; once
+  /// residuals fall geometrically the schedule drops back to rho.  The
+  /// sequence stays monotone non-decreasing (capped at mu_max), so the
+  /// inexact-ALM convergence argument is unaffected.  Deterministic —
+  /// results remain bit-identical across thread counts — but iterates
+  /// differ from the fixed schedule, so the default stays off; warm
+  /// restarts (solve_lrr with a LrrWarmStart) always use it, cold solves
+  /// only when this flag is set.
+  bool adaptive_rho = false;
   /// Worker threads for the per-column fan-out of each ADMM iteration
   /// (Z back-substitution, E shrinkage and the A*Z product; 0 = all
   /// hardware threads).  Results are bit-identical for any value: every
@@ -45,13 +56,36 @@ struct LrrOptions {
 struct LrrResult {
   linalg::Matrix z;       ///< n x N correlation matrix
   linalg::Matrix e;       ///< M x N sparse-column corruption
+  linalg::Matrix y1;      ///< M x N data-constraint multiplier at exit
+  linalg::Matrix y2;      ///< n x N Z=J multiplier at exit
+  double mu_final = 0.0;  ///< penalty at exit (seed for warm restarts)
   std::size_t iterations = 0;
   bool converged = false;
   double residual = 0.0;  ///< final ||X - A Z - E||_F / ||X||_F
 };
 
+/// Warm restart of the ADMM state, e.g. from the previous snapshot's
+/// correlation when the fingerprint matrix drifts slowly between updates
+/// (the paper's premise).  `z` seeds the primal iterate; `y1`/`y2` resume
+/// dual ascent (used only when their shapes match the problem AND z was
+/// accepted — multipliers are meaningless without the iterate they came
+/// from); `mu > 0` resumes the penalty at mu / rho^2 (clamped to
+/// [options.mu, options.mu_max]), skipping the small-mu warm-up entirely.
+/// A shape mismatch on `z` (e.g. the reference set changed) falls back to
+/// the cold start, so stale state can degrade convergence speed but never
+/// correctness.
+struct LrrWarmStart {
+  linalg::Matrix z;    ///< n x N previous correlation
+  linalg::Matrix y1;   ///< optional M x N multiplier
+  linalg::Matrix y2;   ///< optional n x N multiplier
+  double mu = 0.0;     ///< optional penalty to resume from (0 = cold mu)
+};
+
 /// Solve Eq. 12 with dictionary `a` (= X_MIC, M x n) and data `x` (M x N).
+/// `warm` (optional) resumes from a previous solve's state; warm runs
+/// always use the adaptive mu schedule (see LrrOptions::adaptive_rho).
 LrrResult solve_lrr(const linalg::Matrix& a, const linalg::Matrix& x,
-                    const LrrOptions& options = {});
+                    const LrrOptions& options = {},
+                    const LrrWarmStart* warm = nullptr);
 
 }  // namespace iup::core

@@ -10,6 +10,13 @@ linalg::Matrix acquire_correlation(const MicResult& mic,
   return solve_lrr(mic.x_mic, x, options).z;
 }
 
+LrrResult acquire_correlation_full(const MicResult& mic,
+                                   const linalg::Matrix& x,
+                                   const LrrOptions& options,
+                                   const LrrWarmStart* warm) {
+  return solve_lrr(mic.x_mic, x, options, warm);
+}
+
 IUpdater::IUpdater(linalg::Matrix x_original, linalg::Matrix b_mask,
                    UpdaterConfig config)
     : config_(std::move(config)),
@@ -23,8 +30,31 @@ IUpdater::IUpdater(linalg::Matrix x_original, linalg::Matrix b_mask,
   acquire_correlation();
 }
 
+void IUpdater::store_lrr_state(LrrResult&& result) {
+  z_ = std::move(result.z);
+  if (config_.lrr_warm_start) {
+    lrr_y1_ = std::move(result.y1);
+    lrr_y2_ = std::move(result.y2);
+    lrr_mu_ = result.mu_final;
+  }
+}
+
 void IUpdater::acquire_correlation() {
-  z_ = core::acquire_correlation(mic_, x_latest_, config_.lrr);
+  store_lrr_state(acquire_correlation_full(mic_, x_latest_, config_.lrr));
+}
+
+void IUpdater::refresh_correlation() {
+  if (!config_.lrr_warm_start) {
+    acquire_correlation();
+    return;
+  }
+  LrrWarmStart warm;
+  warm.z = z_;
+  warm.y1 = lrr_y1_;
+  warm.y2 = lrr_y2_;
+  warm.mu = lrr_mu_;
+  store_lrr_state(
+      acquire_correlation_full(mic_, x_latest_, config_.lrr, &warm));
 }
 
 void IUpdater::set_reference_cells(const std::vector<std::size_t>& cells) {
@@ -66,7 +96,7 @@ UpdateReport IUpdater::update(const UpdateInputs& inputs) {
   x_latest_ = report.x_hat;
   if (config_.refresh_correlation) {
     mic_ = mic_from_cells(x_latest_, mic_.reference_cells);
-    acquire_correlation();
+    refresh_correlation();
   }
   return report;
 }

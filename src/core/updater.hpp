@@ -35,6 +35,16 @@ linalg::Matrix acquire_correlation(const MicResult& mic,
                                    const linalg::Matrix& x,
                                    const LrrOptions& options);
 
+/// As acquire_correlation, but returning the full ADMM result (Z plus the
+/// multiplier state and final penalty) and optionally resuming from a
+/// previous solve's state — the warm path of the correlation refresh: the
+/// database drifts slowly between updates, so the previous snapshot's Z
+/// and multipliers are a near-converged iterate for the next refresh.
+LrrResult acquire_correlation_full(const MicResult& mic,
+                                   const linalg::Matrix& x,
+                                   const LrrOptions& options,
+                                   const LrrWarmStart* warm = nullptr);
+
 struct UpdaterConfig {
   RsvdOptions rsvd;
   LrrOptions lrr;
@@ -43,6 +53,14 @@ struct UpdaterConfig {
   /// track slow structural change (true follows the paper's "original or
   /// latest updated" phrasing).
   bool refresh_correlation = true;
+  /// Warm-start each correlation refresh from the previous ADMM state
+  /// (Z + multipliers + penalty) instead of solving cold — roughly halves
+  /// the refresh's iterations on slowly-drifting databases.  Changes the
+  /// refreshed Z at iterate level (same fixed point within tolerance);
+  /// set false to reproduce cold-refresh-era numbers exactly.  Mirrored
+  /// by EngineConfig::lrr_warm_start so Engine and IUpdater stay in exact
+  /// parity.
+  bool lrr_warm_start = true;
 };
 
 struct UpdateInputs {
@@ -91,7 +109,13 @@ class IUpdater {
   UpdateReport update(const UpdateInputs& inputs);
 
  private:
+  /// Cold acquisition (construction, reference-set changes): solves from
+  /// scratch and replaces the cached ADMM state.
   void acquire_correlation();
+  /// Post-update refresh: warm-starts from {z_, multiplier state} when
+  /// config_.lrr_warm_start is set, cold otherwise.
+  void refresh_correlation();
+  void store_lrr_state(LrrResult&& result);
 
   UpdaterConfig config_;
   linalg::Matrix x_latest_;
@@ -99,6 +123,11 @@ class IUpdater {
   BandLayout layout_;
   MicResult mic_;
   linalg::Matrix z_;
+  /// ADMM multiplier state of the solve that produced z_ (z field unused;
+  /// z_ itself seeds the next warm restart).
+  linalg::Matrix lrr_y1_;
+  linalg::Matrix lrr_y2_;
+  double lrr_mu_ = 0.0;
 };
 
 }  // namespace iup::core

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/lu.hpp"
 
 namespace iup::linalg {
@@ -15,26 +16,49 @@ std::atomic<std::uint64_t> g_cholesky_failures{0};
 std::atomic<std::uint64_t> g_bump_recoveries{0};
 std::atomic<std::uint64_t> g_lu_fallbacks{0};
 
-// Restore the lower triangle and diagonal of a partially-factored matrix
-// from the untouched strict upper triangle and the saved diagonal, then
+// Restore the upper triangle and diagonal of a partially-factored matrix
+// from the untouched strict lower triangle and the saved diagonal, then
 // add `bump` to every diagonal entry.
 void restore_symmetric(Matrix& a, std::span<const double> diag, double bump) {
   const std::size_t n = a.rows();
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) a(i, j) = a(j, i);
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = a(j, i);
     a(i, i) = diag[i] + bump;
   }
 }
 
+// Right-looking upper-triangular factorisation a = R^T R: reads and
+// writes only the diagonal and the strict UPPER triangle (the strict
+// lower stays untouched for the retry restore).  On row-major storage the
+// pivot-row scale, every trailing rank-1 update and both substitution
+// passes of solve_factored_spd run over contiguous row suffixes, so the
+// whole SPD solve path vectorises through the kernel layer — the
+// motivation for preferring R^T R over the classic lower L L^T here.
+bool cholesky_upper_in_place(Matrix& a) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double* row_j = a.row_span(j).data();
+    const double diag = row_j[j];
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double rjj = std::sqrt(diag);
+    row_j[j] = rjj;
+    for (std::size_t k = j + 1; k < n; ++k) row_j[k] /= rjj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      kernels::axpy(-row_j[i], row_j + i, a.row_span(i).data() + i, n - i);
+    }
+  }
+  return true;
+}
+
 // Factor `a` in place with the deterministic diagonal-bump retry policy
 // (see solve_spd_into's contract).  `diag_scratch` receives the original
-// diagonal.  Returns true when `a` holds a usable Cholesky factor
-// (counting failures/recoveries); on false, `a` is restored to the
-// symmetrised unbumped input and the caller pays for LU.
+// diagonal.  Returns true when `a` holds a usable upper factor (counting
+// failures/recoveries); on false, `a` is restored to the symmetrised
+// unbumped input and the caller pays for LU.
 bool factor_spd_with_retry(Matrix& a, std::span<double> diag_scratch) {
   const std::size_t n = a.rows();
   for (std::size_t i = 0; i < n; ++i) diag_scratch[i] = a(i, i);
-  if (cholesky_in_place(a)) return true;
+  if (cholesky_upper_in_place(a)) return true;
   g_cholesky_failures.fetch_add(1, std::memory_order_relaxed);
 
   double mean_diag = 0.0;
@@ -46,7 +70,7 @@ bool factor_spd_with_retry(Matrix& a, std::span<double> diag_scratch) {
   const double scale = mean_diag > 0.0 ? mean_diag : 1.0;
   for (const double rel_bump : {1e-10, 1e-6}) {
     restore_symmetric(a, diag_scratch, rel_bump * scale);
-    if (cholesky_in_place(a)) {
+    if (cholesky_upper_in_place(a)) {
       g_bump_recoveries.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -86,15 +110,20 @@ bool cholesky_in_place(Matrix& a) {
     throw std::invalid_argument("cholesky_in_place: matrix must be square");
   }
   const std::size_t n = a.rows();
+  // The k-prefix reductions run through the kernel layer (both operands
+  // are contiguous row prefixes of the factored L).  Subtracting the
+  // reduced sum once instead of term by term changes the factor at ulp
+  // magnitude relative to pre-kernel releases — deterministically per
+  // build, identically at every thread count.
   for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    const double* row_j = a.row_span(j).data();
+    const double diag = a(j, j) - kernels::norm_sq(row_j, j);
     if (diag <= 0.0 || !std::isfinite(diag)) return false;
     const double ljj = std::sqrt(diag);
     a(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= a(i, k) * a(j, k);
+      const double acc =
+          a(i, j) - kernels::dot(a.row_span(i).data(), row_j, j);
       a(i, j) = acc / ljj;
     }
   }
@@ -116,10 +145,12 @@ void cholesky_solve_in_place(const Matrix& l, std::span<double> bx) {
   if (bx.size() != n) {
     throw std::invalid_argument("cholesky_solve_in_place: size mismatch");
   }
-  // L y = b: forward substitution, y overwrites b entry by entry.
+  // L y = b: forward substitution, y overwrites b entry by entry; the
+  // row-prefix reduction is contiguous on both sides and runs through the
+  // kernel layer.
   for (std::size_t i = 0; i < n; ++i) {
-    double acc = bx[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * bx[j];
+    const double acc =
+        bx[i] - kernels::dot(l.row_span(i).data(), bx.data(), i);
     bx[i] = acc / l(i, i);
   }
   // L^T x = y: back substitution, x overwrites y.
@@ -127,6 +158,31 @@ void cholesky_solve_in_place(const Matrix& l, std::span<double> bx) {
     double acc = bx[i];
     for (std::size_t j = i + 1; j < n; ++j) acc -= l(j, i) * bx[j];
     bx[i] = acc / l(i, i);
+  }
+}
+
+void solve_factored_spd(const Matrix& r, std::span<double> bx) {
+  const std::size_t n = r.rows();
+  if (bx.size() != n) {
+    throw std::invalid_argument("solve_factored_spd: size mismatch");
+  }
+  // R^T y = b: column-oriented forward elimination — once y_j is known,
+  // its contribution streams into the remaining entries through the
+  // contiguous suffix of row j.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* row_j = r.row_span(j).data();
+    const double yj = bx[j] / row_j[j];
+    bx[j] = yj;
+    if (j + 1 < n) {
+      kernels::axpy(-yj, row_j + j + 1, bx.data() + j + 1, n - j - 1);
+    }
+  }
+  // R x = y: row-suffix dot back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    const double* row_i = r.row_span(i).data();
+    const double acc =
+        bx[i] - kernels::dot(row_i + i + 1, bx.data() + i + 1, n - i - 1);
+    bx[i] = acc / row_i[i];
   }
 }
 
@@ -140,7 +196,7 @@ void solve_spd_into(Matrix& a, std::span<double> bx,
     throw std::invalid_argument("solve_spd_into: size mismatch");
   }
   if (factor_spd_with_retry(a, diag_scratch)) {
-    cholesky_solve_in_place(a, bx);
+    solve_factored_spd(a, bx);
     return;
   }
 
@@ -171,7 +227,7 @@ Matrix solve_spd(const Matrix& a, const Matrix& b) {
     std::vector<double> col(b.rows());
     for (std::size_t j = 0; j < b.cols(); ++j) {
       b.copy_col_into(j, col);
-      cholesky_solve_in_place(work, col);
+      solve_factored_spd(work, col);
       x.set_col(j, col);
     }
     return x;

@@ -43,13 +43,22 @@ void cholesky_solve_in_place(const Matrix& l, std::span<double> bx);
 /// Factor an SPD matrix in place with the same deterministic diagonal-bump
 /// retry policy as solve_spd_into (failures/recoveries counted in the
 /// process-wide SpdStats).  `diag_scratch` must have length a.rows(); it
-/// receives the original diagonal.  On true, `a` holds a Cholesky factor
-/// usable with cholesky_solve_in_place; on false, `a` is restored to the
-/// symmetrised unbumped input so the caller can fall back to LU.  This is
-/// the factor-once entry point for solvers whose normal matrix is fixed
-/// across iterations (the LRR Z-update): factor here, back-substitute per
-/// iteration.
+/// receives the original diagonal.  On true, `a` holds an opaque SPD
+/// factor usable with solve_factored_spd (an UPPER-triangular R with
+/// a = R^T R — on row-major storage every elimination and substitution
+/// loop then runs over contiguous row suffixes, which is what lets the
+/// SIMD kernel layer vectorise the whole solve path); on false, `a` is
+/// restored to the symmetrised unbumped input so the caller can fall back
+/// to LU.  This is the factor-once entry point for solvers whose normal
+/// matrix is fixed across iterations (the LRR Z-update): factor here,
+/// back-substitute per iteration.
 bool factor_spd(Matrix& a, std::span<double> diag_scratch);
+
+/// Allocation-free solve against a factor_spd / solve_spd_into factor: on
+/// entry `bx` holds b, on exit the solution.  (Pairs ONLY with factor_spd;
+/// factors from cholesky() / cholesky_in_place are lower-triangular and
+/// solve through cholesky_solve_in_place instead.)
+void solve_factored_spd(const Matrix& r, std::span<double> bx);
 
 /// Solve a x = b for SPD a.  Retries with a diagonal bump, then falls back
 /// to LU, so callers never have to branch on definiteness themselves.

@@ -1,0 +1,122 @@
+// iup::linalg::kernels — the SIMD micro-kernel layer of the solver hot
+// path.
+//
+// One dispatch header, compile-time level selection: every translation
+// unit of a build sees the same level, chosen by the flags the whole
+// build was compiled with (the IUP_ARCH CMake knob; scripts/bench.sh
+// benches at -march=native, CI exercises both a baseline and an
+// x86-64-v3 cell).
+//
+//   kernels::dot / axpy / axpy2 / add_outer_upper / norm_sq /
+//   diff_norm_sq / masked_diff_norm_sq   — forward to the active level
+//   kernels::gemm_accumulate             — register-blocked packed GEMM
+//                                          (kernels/gemm.hpp)
+//   kernels::scalar::*                   — always available (reference)
+//   kernels::avx2::*                     — only at the AVX2 level
+//
+// Determinism contract (the load-bearing guarantee):
+//
+//  * WITHIN one build (one dispatch level) every kernel is a pure
+//    function of its operand values and length — never of alignment,
+//    call site, tiling or thread count.  The solver sweep, the LRR
+//    fan-out and the batched engine entry points therefore keep the PR 2
+//    guarantee bit for bit: 1 thread and N threads produce identical
+//    results at every dispatch level.
+//  * ACROSS levels results may differ at ulp magnitude: the AVX2 level
+//    contracts mul+add to FMA on the element-wise kernels and reduces
+//    dot/norm accumulations through two vector lanes instead of one
+//    scalar accumulator.  The scalar level reproduces the historical
+//    (pre-kernel-layer) loops exactly.
+//  * Zero-skips (add_outer_upper rows, the multiply_into pivot skip) are
+//    exact no-ops on finite data: a contribution 0.0 * v adds +/-0, and
+//    an accumulator seeded with +0 can never round to -0, so skipping
+//    cannot change any finite result.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/kernels/scalar.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define IUP_KERNELS_AVX2 1
+#include "linalg/kernels/avx2.hpp"
+#endif
+
+namespace iup::linalg::kernels {
+
+/// Compile-time dispatch levels.  kAvx2 requires the build to enable both
+/// AVX2 and FMA (e.g. -march=x86-64-v3); anything else runs kScalar.
+enum class Level { kScalar, kAvx2 };
+
+constexpr Level active_level() {
+#if defined(IUP_KERNELS_AVX2)
+  return Level::kAvx2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+constexpr const char* active_level_name() {
+  return active_level() == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+inline double dot(const double* a, const double* b, std::size_t n) {
+#if defined(IUP_KERNELS_AVX2)
+  return avx2::dot(a, b, n);
+#else
+  return scalar::dot(a, b, n);
+#endif
+}
+
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+#if defined(IUP_KERNELS_AVX2)
+  avx2::axpy(alpha, x, y, n);
+#else
+  scalar::axpy(alpha, x, y, n);
+#endif
+}
+
+inline void axpy2(double a, const double* x, double b, const double* y,
+                  double* out, std::size_t n) {
+#if defined(IUP_KERNELS_AVX2)
+  avx2::axpy2(a, x, b, y, out, n);
+#else
+  scalar::axpy2(a, x, b, y, out, n);
+#endif
+}
+
+inline void add_outer_upper(double weight, const double* v, std::size_t n,
+                            double* q, std::size_t ld) {
+#if defined(IUP_KERNELS_AVX2)
+  avx2::add_outer_upper(weight, v, n, q, ld);
+#else
+  scalar::add_outer_upper(weight, v, n, q, ld);
+#endif
+}
+
+inline double norm_sq(const double* x, std::size_t n) {
+#if defined(IUP_KERNELS_AVX2)
+  return avx2::norm_sq(x, n);
+#else
+  return scalar::norm_sq(x, n);
+#endif
+}
+
+inline double diff_norm_sq(const double* x, const double* y, std::size_t n) {
+#if defined(IUP_KERNELS_AVX2)
+  return avx2::diff_norm_sq(x, y, n);
+#else
+  return scalar::diff_norm_sq(x, y, n);
+#endif
+}
+
+inline double masked_diff_norm_sq(const double* mask, const double* x,
+                                  const double* y, std::size_t n) {
+#if defined(IUP_KERNELS_AVX2)
+  return avx2::masked_diff_norm_sq(mask, x, y, n);
+#else
+  return scalar::masked_diff_norm_sq(mask, x, y, n);
+#endif
+}
+
+}  // namespace iup::linalg::kernels

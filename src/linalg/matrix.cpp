@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "linalg/kernels/gemm.hpp"
+#include "linalg/kernels/kernels.hpp"
+
 namespace iup::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -324,9 +327,20 @@ void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t inner = a.cols();
   const std::size_t n = b.cols();
   out.resize(m, n, 0.0);
+  // Shapes with enough work to amortise panel packing route through the
+  // register-blocked GEMM micro-kernel.  Per output element both paths
+  // accumulate over k in ascending order with the active dispatch level's
+  // element arithmetic, so the routing threshold cannot change results on
+  // finite data (the pivot zero-skip below is an exact no-op, see
+  // kernels.hpp).
+  if (kernels::gemm_is_vectorized() && m >= 8 && inner >= 16 && n >= 16) {
+    kernels::gemm_accumulate(a.data().data(), inner, b.data().data(), n,
+                             out.data().data(), n, m, inner, n);
+    return;
+  }
   // Blocked i-k-j: for every out element the k contributions still arrive
   // in ascending order (k tiles ascending, k ascending within a tile), so
-  // the result is bit-identical to the naive triple loop.
+  // the result matches the naive triple loop at the active dispatch level.
   for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
     const std::size_t i1 = std::min(i0 + kTile, m);
     for (std::size_t k0 = 0; k0 < inner; k0 += kTile) {
@@ -339,9 +353,8 @@ void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
             const double aik = a(i, k);
             if (aik == 0.0) continue;
             const auto b_row = b.row_span(k);
-            for (std::size_t j = j0; j < j1; ++j) {
-              out_row[j] += aik * b_row[j];
-            }
+            kernels::axpy(aik, b_row.data() + j0, out_row.data() + j0,
+                          j1 - j0);
           }
         }
       }
@@ -364,9 +377,7 @@ void multiply_transposed_into(const Matrix& a, const Matrix& b, Matrix& out) {
     auto out_row = out.row_span(i);
     for (std::size_t j = 0; j < n; ++j) {
       const auto b_row = b.row_span(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
+      out_row[j] = kernels::dot(a_row.data(), b_row.data(), inner);
     }
   }
 }
@@ -393,12 +404,8 @@ void gram_into(const Matrix& a, Matrix& out) {
   out.resize(n, n, 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto r = a.row_span(i);
-    for (std::size_t p = 0; p < n; ++p) {
-      const double rp = r[p];
-      if (rp == 0.0) continue;
-      auto out_row = out.row_span(p);
-      for (std::size_t q = p; q < n; ++q) out_row[q] += rp * r[q];
-    }
+    // One rank-1 update of the upper triangle per row of a (suffix axpys).
+    kernels::add_outer_upper(1.0, r.data(), n, out.data().data(), n);
   }
   for (std::size_t p = 0; p < n; ++p) {
     for (std::size_t q = 0; q < p; ++q) out(p, q) = out(q, p);
@@ -409,9 +416,7 @@ void add_scaled(Matrix& y, double alpha, const Matrix& x) {
   if (y.rows() != x.rows() || y.cols() != x.cols()) {
     throw std::invalid_argument("add_scaled: shape mismatch");
   }
-  auto yd = y.data();
-  const auto xd = x.data();
-  for (std::size_t k = 0; k < yd.size(); ++k) yd[k] += alpha * xd[k];
+  kernels::axpy(alpha, x.data().data(), y.data().data(), y.size());
 }
 
 }  // namespace iup::linalg

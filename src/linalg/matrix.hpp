@@ -11,11 +11,19 @@
 // M x N with M <= 16 links and N <= a few thousand grid cells).  The
 // allocating operators keep the MATLAB-flavoured call sites readable; the
 // solver hot loops instead use the allocation-free `_into` kernels at the
-// bottom of this header, which write into caller-owned buffers and tile
-// the products for cache locality.  Every `_into` kernel accumulates in
-// the same index order as its allocating counterpart, so results are
-// bit-identical — a prerequisite for the solver's thread-count-invariance
-// guarantee.
+// bottom of this header, which write into caller-owned buffers, tile the
+// products for cache locality and run their inner loops through the SIMD
+// micro-kernel layer (linalg/kernels/).  The allocating operators are
+// thin wrappers over the same `_into` kernels (operator* IS
+// multiply_into, gram() IS gram_into), so those pairs are bit-identical
+// by construction at every dispatch level.  Exception: at SIMD levels
+// multiply_transposed_into (dot-based reduction per element) is NOT
+// bit-identical to a * b.transpose() (axpy-based ascending-k
+// accumulation) — they agree to reduction-reorder tolerance only.
+// Within one build every kernel is deterministic and independent of
+// tiling, alignment and thread count — the solver's
+// thread-count-invariance prerequisite (see linalg/kernels/kernels.hpp
+// for the cross-level contract).
 #pragma once
 
 #include <cstddef>
@@ -166,9 +174,10 @@ class Matrix {
 // ---------------------------------------------------------------------------
 // Allocation-free kernels.  All of them resize `out` (capacity-reusing, see
 // Matrix::resize) and overwrite it completely; `out` must not alias an
-// input (throws std::invalid_argument).  Accumulation order matches the
-// allocating counterparts exactly, so e.g. multiply_into(a, b, out) is
-// bit-identical to out = a * b.
+// input (throws std::invalid_argument).  multiply_into(a, b, out) is
+// bit-identical to out = a * b (the operator calls it); see the header
+// comment above for the one SIMD-level caveat (multiply_transposed_into
+// vs an explicit transpose product).
 // ---------------------------------------------------------------------------
 
 /// out = a * b, tiled over all three loop dimensions for cache locality.

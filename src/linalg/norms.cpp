@@ -4,14 +4,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/svd.hpp"
 
 namespace iup::linalg {
 
 double frobenius_norm_sq(const Matrix& a) {
-  double acc = 0.0;
-  for (double v : a.data()) acc += v * v;
-  return acc;
+  return kernels::norm_sq(a.data().data(), a.size());
 }
 
 double frobenius_norm(const Matrix& a) { return std::sqrt(frobenius_norm_sq(a)); }
@@ -48,14 +47,7 @@ double diff_norm_sq(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     throw std::invalid_argument("diff_norm_sq: shape mismatch");
   }
-  const auto ad = a.data();
-  const auto bd = b.data();
-  double acc = 0.0;
-  for (std::size_t k = 0; k < ad.size(); ++k) {
-    const double d = ad[k] - bd[k];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::diff_norm_sq(a.data().data(), b.data().data(), a.size());
 }
 
 double masked_diff_norm_sq(const Matrix& mask, const Matrix& x,
@@ -64,15 +56,8 @@ double masked_diff_norm_sq(const Matrix& mask, const Matrix& x,
       mask.rows() != y.rows() || mask.cols() != y.cols()) {
     throw std::invalid_argument("masked_diff_norm_sq: shape mismatch");
   }
-  const auto md = mask.data();
-  const auto xd = x.data();
-  const auto yd = y.data();
-  double acc = 0.0;
-  for (std::size_t k = 0; k < md.size(); ++k) {
-    const double d = md[k] * xd[k] - yd[k];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::masked_diff_norm_sq(mask.data().data(), x.data().data(),
+                                      y.data().data(), mask.size());
 }
 
 }  // namespace iup::linalg

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
+
 namespace iup::linalg {
 
 namespace {
@@ -18,9 +20,7 @@ void check_same_length(std::span<const double> a, std::span<const double> b,
 
 double dot(std::span<const double> a, std::span<const double> b) {
   check_same_length(a, b, "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::dot(a.data(), b.data(), a.size());
 }
 
 double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
@@ -41,7 +41,7 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("axpy: length mismatch");
   }
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 std::vector<double> add(std::span<const double> a, std::span<const double> b) {

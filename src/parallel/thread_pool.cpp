@@ -12,9 +12,16 @@ namespace iup::parallel {
 
 namespace {
 
-// Set while a pool worker (or a caller draining the queue) executes a
-// task; nested parallel_for calls detect it and run sequentially.
-thread_local bool t_in_worker = false;
+// Nesting depth of the current execution context: 0 outside the pool,
+// d+1 while executing a chunk of a batch submitted at depth d.  run()
+// submits to the pool while depth < kMaxNestDepth and degrades to
+// sequential chunk execution beyond that — one level of budgeted nesting
+// is enough for the engine's update_batch (site chains at depth 0, each
+// chain's solver/LRR fan-outs at depth 1), and a finite cap keeps the
+// termination argument trivial.
+thread_local std::size_t t_nest_depth = 0;
+
+constexpr std::size_t kMaxNestDepth = 1;
 
 }  // namespace
 
@@ -40,6 +47,7 @@ std::size_t resolve_threads(std::size_t requested) {
 struct ThreadPool::Impl {
   struct Task {
     const void* batch_tag;  ///< identity of the run() that enqueued it
+    std::size_t depth;      ///< nesting depth the chunk executes at
     std::function<void()> fn;
   };
 
@@ -50,7 +58,6 @@ struct ThreadPool::Impl {
   bool stopping = false;
 
   void worker_loop() {
-    t_in_worker = true;
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
       work_cv.wait(lock, [this] { return stopping || !queue.empty(); });
@@ -58,7 +65,9 @@ struct ThreadPool::Impl {
       auto task = std::move(queue.front());
       queue.pop_front();
       lock.unlock();
+      t_nest_depth = task.depth;
       task.fn();
+      t_nest_depth = 0;
       lock.lock();
     }
   }
@@ -68,8 +77,7 @@ struct ThreadPool::Impl {
   // caller's own chunks: executing an unrelated batch's chunk here could
   // self-deadlock a caller that holds a lock that chunk also takes.
   void help_drain(const void* batch_tag) {
-    const bool was_worker = t_in_worker;
-    t_in_worker = true;
+    const std::size_t caller_depth = t_nest_depth;
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
       const auto it = std::find_if(
@@ -79,10 +87,11 @@ struct ThreadPool::Impl {
       auto task = std::move(*it);
       queue.erase(it);
       lock.unlock();
+      t_nest_depth = task.depth;
       task.fn();
+      t_nest_depth = caller_depth;
       lock.lock();
     }
-    t_in_worker = was_worker;
   }
 };
 
@@ -112,15 +121,27 @@ void ThreadPool::run(std::size_t n, std::size_t ways, const ChunkBody& body) {
     body(0, n, 0);
     return;
   }
-  if (t_in_worker) {
-    // Nested parallelism: execute the same chunks sequentially.  Identical
-    // partition, identical slots, identical results.
+  const std::size_t depth = t_nest_depth;
+  if (depth > kMaxNestDepth) {
+    // Past the nesting budget: execute the same chunks sequentially.
+    // Identical partition, identical slots, identical results.
     for (std::size_t c = 0; c < ways; ++c) {
       const auto [begin, end] = chunk_range(n, ways, c);
       body(begin, end, c);
     }
     return;
   }
+  // Budgeted nesting (depth <= kMaxNestDepth): submit chunks to the
+  // shared queue even from inside a worker.  Idle workers pick them up,
+  // so when an outer fan-out has fewer chunks than the pool has threads
+  // (update_batch with few site chains), the surplus threads flow into
+  // the nested fan-outs instead of idling.  Deadlock-free by induction on
+  // depth: every nested caller first runs chunk 0 itself, then drains its
+  // own still-queued chunks (help_drain), so by the time it blocks, its
+  // remaining chunks are being executed by workers — and those chunks
+  // terminate because their own nesting bottoms out at the depth cap.
+  // Results are unchanged: the partition depends only on (n, ways) and
+  // every chunk owns its outputs, so WHO executes a chunk is invisible.
 
   struct Batch {
     std::mutex mutex;
@@ -150,20 +171,18 @@ void ThreadPool::run(std::size_t n, std::size_t ways, const ChunkBody& body) {
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     for (std::size_t c = 1; c < ways; ++c) {
-      impl_->queue.push_back({batch.get(), [run_chunk, c] { run_chunk(c); }});
+      impl_->queue.push_back(
+          {batch.get(), depth + 1, [run_chunk, c] { run_chunk(c); }});
     }
   }
   impl_->work_cv.notify_all();
 
-  // The caller owns chunk 0 (in worker context, so a nested parallel_for
-  // degrades to sequential there too), then helps with its own still-
-  // queued chunks, then waits for chunks picked up by workers.
-  {
-    const bool was_worker = t_in_worker;
-    t_in_worker = true;
-    run_chunk(0);
-    t_in_worker = was_worker;
-  }
+  // The caller owns chunk 0 (executed one nesting level deeper), then
+  // helps with its own still-queued chunks, then waits for chunks picked
+  // up by workers.
+  t_nest_depth = depth + 1;
+  run_chunk(0);
+  t_nest_depth = depth;
   impl_->help_drain(batch.get());
   std::unique_lock<std::mutex> lock(batch->mutex);
   batch->done_cv.wait(lock, [&batch] { return batch->pending == 0; });

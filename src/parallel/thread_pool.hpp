@@ -21,9 +21,15 @@
 //     a caller holding a lock must not execute foreign work), then waits.
 //     The pool therefore makes progress even with zero workers
 //     (single-core machines) and is never a deadlock hazard.
-//   * Nested parallel_for calls — from a worker body or from the caller's
-//     own chunk — degrade to sequential chunk execution on the calling
-//     thread: same chunks, same slots, same results, no deadlock.
+//   * Budgeted nesting: a parallel_for from inside a chunk submits its
+//     chunks to the shared queue (one nested level deep), so idle workers
+//     flow into the nested fan-outs — an update_batch with fewer site
+//     chains than pool threads feeds its surplus threads to the chains'
+//     solver/LRR sweeps instead of pinning each chain to one thread.
+//     Deeper nesting degrades to sequential chunk execution on the
+//     calling thread.  Either way: same chunks, same slots, same results,
+//     no deadlock (every nested caller drains its own still-queued chunks
+//     before blocking, and nesting bottoms out at the depth cap).
 #pragma once
 
 #include <cstddef>

@@ -126,6 +126,40 @@ TEST(Rass, SnapsToGridForLocalizerInterface) {
   EXPECT_LT(est.cell, run.testbed.num_cells());
 }
 
+TEST(Rass, GridSearchSelectsDeterministicallyAcrossThreadCounts) {
+  // The batched (C candidate x axis) grid fan-out: any thread count must
+  // train identical models and pick the same winner (first-lowest MSE on
+  // the deterministic holdout rows, then a full-grid refit).
+  const auto& run = iup::test::office_run();
+  const auto& x = run.ground_truth.at_day(0);
+  RassOptions grid;
+  grid.c_grid = {1.0, 10.0, 100.0};
+
+  grid.threads = 1;
+  const Rass serial(x, run.testbed.deployment(), grid);
+  grid.threads = 8;
+  const Rass parallel(x, run.testbed.deployment(), grid);
+  double max_gap = 0.0;
+  for (std::size_t j = 0; j < run.testbed.num_cells(); j += 7) {
+    const auto col = x.col(j);
+    const auto ps = serial.localize_position(col);
+    const auto pp = parallel.localize_position(col);
+    max_gap = std::max(max_gap, geom::distance(ps, pp));
+    EXPECT_EQ(serial.localize(col).cell, parallel.localize(col).cell);
+  }
+  EXPECT_EQ(max_gap, 0.0) << "grid selection must be thread-invariant";
+
+  // Sanity: the selected models localize the training grid reasonably.
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < run.testbed.num_cells(); j += 5) {
+    const auto p = serial.localize_position(x.col(j));
+    total += geom::distance(p, run.testbed.deployment().cell_center(j));
+    ++count;
+  }
+  EXPECT_LT(total / static_cast<double>(count), 3.0);
+}
+
 TEST(Rass, ReconstructedBeatsStaleAt45Days) {
   // Fig. 23: RASS w/ rec. outperforms RASS w/o rec.
   const auto& run = iup::test::office_run();

@@ -120,5 +120,67 @@ TEST(Lrr, IterationBudgetRespected) {
   EXPECT_FALSE(result.converged);
 }
 
+TEST(LrrWarmStart, ConvergesToTheColdFixedPointInFarFewerIterations) {
+  // The refresh scenario: solve on the day-0 database, drift to day 45,
+  // then compare a cold re-solve with one warm-started from the day-0
+  // state.  Warm must (a) converge, (b) land on the same Z within the
+  // ADMM tolerance scale, (c) need well under half the cold iterations.
+  const auto& run = iup::test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  const auto& x1 = run.ground_truth.at_day(45);
+  const auto mic0 = extract_mic(x0);
+  const LrrOptions opt;
+
+  const auto cold0 = solve_lrr(mic0.x_mic, x0, opt);
+  ASSERT_TRUE(cold0.converged);
+  EXPECT_GT(cold0.mu_final, opt.mu);
+
+  const auto mic1 = mic_from_cells(x1, mic0.reference_cells);
+  const auto cold1 = solve_lrr(mic1.x_mic, x1, opt);
+  ASSERT_TRUE(cold1.converged);
+
+  LrrWarmStart warm;
+  warm.z = cold0.z;
+  warm.y1 = cold0.y1;
+  warm.y2 = cold0.y2;
+  warm.mu = cold0.mu_final;
+  const auto warm1 = solve_lrr(mic1.x_mic, x1, opt, &warm);
+  ASSERT_TRUE(warm1.converged);
+  EXPECT_LE(warm1.iterations * 2, cold1.iterations)
+      << "warm " << warm1.iterations << " vs cold " << cold1.iterations;
+  EXPECT_LT(linalg::relative_error(warm1.z, cold1.z), 1e-5);
+  // Same reconstruction quality as the cold fixed point.
+  EXPECT_LT(linalg::relative_error(mic1.x_mic * warm1.z, x1), 0.05);
+}
+
+TEST(LrrWarmStart, ShapeMismatchResetsToCold) {
+  // A reference-set change alters the dictionary width: the stale state
+  // must be ignored, reproducing the cold solve bit for bit.
+  const auto& x = iup::test::office_run().ground_truth.at_day(0);
+  const auto mic = extract_mic(x);
+  const LrrOptions opt;
+  const auto cold = solve_lrr(mic.x_mic, x, opt);
+
+  LrrWarmStart stale;
+  stale.z = linalg::Matrix(mic.x_mic.cols() + 1, x.cols(), 0.1);
+  stale.mu = 7.0;
+  const auto reset = solve_lrr(mic.x_mic, x, opt, &stale);
+  EXPECT_EQ(reset.z, cold.z);
+  EXPECT_EQ(reset.iterations, cold.iterations);
+  EXPECT_EQ(reset.mu_final, cold.mu_final);
+}
+
+TEST(LrrAdaptiveRho, ColdSolveReachesTheSameFixedPointFaster) {
+  const auto& x = iup::test::office_run().ground_truth.at_day(0);
+  const auto mic = extract_mic(x);
+  LrrOptions opt;
+  const auto fixed = solve_lrr(mic.x_mic, x, opt);
+  opt.adaptive_rho = true;
+  const auto adaptive = solve_lrr(mic.x_mic, x, opt);
+  ASSERT_TRUE(adaptive.converged);
+  EXPECT_LT(adaptive.iterations, fixed.iterations);
+  EXPECT_LT(linalg::relative_error(adaptive.z, fixed.z), 1e-5);
+}
+
 }  // namespace
 }  // namespace iup::core

@@ -222,5 +222,89 @@ TEST(EngineWarmStartCache, WarmAndColdChainsStayThreadInvariant) {
   }
 }
 
+TEST(LrrThreadInvariance, WarmRestartBitIdenticalAcrossThreadCounts) {
+  // The warm ADMM path carries the same guarantee as the cold one: the
+  // resumed multipliers / adaptive mu schedule never reorder a reduction
+  // across the chunk partition.
+  const auto& run = test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  const auto& x1 = run.ground_truth.at_day(45);
+  const auto mic = core::extract_mic(x0);
+  core::LrrOptions options;
+  const auto cold = core::solve_lrr(mic.x_mic, x0, options);
+
+  core::LrrWarmStart warm;
+  warm.z = cold.z;
+  warm.y1 = cold.y1;
+  warm.y2 = cold.y2;
+  warm.mu = cold.mu_final;
+  const auto mic1 = core::mic_from_cells(x1, mic.reference_cells);
+  options.threads = 1;
+  const auto base = core::solve_lrr(mic1.x_mic, x1, options, &warm);
+  for (const std::size_t threads : {2u, 8u, 0u /* auto */}) {
+    options.threads = threads;
+    const auto other = core::solve_lrr(mic1.x_mic, x1, options, &warm);
+    EXPECT_EQ(other.z, base.z) << threads << " threads";
+    EXPECT_EQ(other.y1, base.y1) << threads << " threads";
+    EXPECT_EQ(other.y2, base.y2) << threads << " threads";
+    EXPECT_EQ(other.iterations, base.iterations) << threads << " threads";
+  }
+}
+
+TEST(EngineLrrWarmCache, SeededAtRegistrationAndTrackedAcrossCommits) {
+  const auto& run = test::office_run();
+  api::Engine engine{api::EngineConfig{}};
+  ASSERT_TRUE(eval::register_run(engine, run, "office").ok());
+  // Registration itself seeds the refresh cache (unlike the solver-factor
+  // cache, which needs an update's converged factor).
+  EXPECT_EQ(engine.lrr_warm_version("office"),
+            std::optional<std::uint64_t>{1});
+
+  const auto cells = engine.reference_cells("office").value();
+  const auto r1 =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  EXPECT_EQ(engine.lrr_warm_version("office"),
+            std::optional<std::uint64_t>{2});
+
+  // set_reference_cells re-acquires cold and re-seeds at its version.
+  ASSERT_TRUE(engine.set_reference_cells("office", cells).ok());
+  EXPECT_EQ(engine.lrr_warm_version("office"),
+            std::optional<std::uint64_t>{3});
+
+  ASSERT_TRUE(engine.drop_site("office").ok());
+  EXPECT_FALSE(engine.lrr_warm_version("office").has_value());
+}
+
+TEST(EngineLrrWarmCache, DisabledEngineMatchesColdRefreshesExactly) {
+  // lrr_warm_start(false) must reproduce the cold-refresh chain bit for
+  // bit, and never retain ADMM state.
+  const auto& run = test::office_run();
+  api::Engine warm_engine{api::EngineConfig{}};
+  api::Engine cold_engine(api::EngineConfig().lrr_warm_start(false));
+  ASSERT_TRUE(eval::register_run(warm_engine, run, "office").ok());
+  ASSERT_TRUE(eval::register_run(cold_engine, run, "office").ok());
+  EXPECT_FALSE(cold_engine.lrr_warm_version("office").has_value());
+  // Registration is a cold solve either way: identical snapshots.
+  EXPECT_EQ(warm_engine.snapshot("office").value()->correlation(),
+            cold_engine.snapshot("office").value()->correlation());
+
+  const auto cells = warm_engine.reference_cells("office").value();
+  const auto request =
+      eval::collect_update_request(run, "office", cells, 45);
+  const auto warm_result = warm_engine.update(request);
+  const auto cold_result = cold_engine.update(request);
+  ASSERT_TRUE(warm_result.ok());
+  ASSERT_TRUE(cold_result.ok());
+  // Same reconstruction (the solve itself never sees the LRR cache)...
+  EXPECT_EQ(warm_result.value().x_hat(), cold_result.value().x_hat());
+  // ...and refreshed correlations that agree to the ADMM fixed point,
+  // warm vs cold.
+  const auto& zw = warm_result.value().snapshot->correlation();
+  const auto& zc = cold_result.value().snapshot->correlation();
+  EXPECT_LT(linalg::relative_error(zw, zc), 1e-5);
+  EXPECT_FALSE(cold_engine.lrr_warm_version("office").has_value());
+}
+
 }  // namespace
 }  // namespace iup

@@ -95,12 +95,15 @@ TEST(ParallelFor, MoreWaysThanIndicesClampsToN) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ParallelFor, NestedCallsRunInlineWithSamePartition) {
+TEST(ParallelFor, NestedCallsKeepPartitionAndCoverage) {
+  // Budgeted nesting: a nested fan-out submits to the shared pool (so
+  // surplus workers can help), with the same (n, ways) partition and the
+  // same slots as the sequential degrade — and it must never deadlock,
+  // including when every outer chunk nests at once.
   const std::size_t outer = 4, inner = 20;
   std::vector<std::atomic<int>> hits(outer * inner);
   parallel_for(4, outer, [&](std::size_t ob, std::size_t oe, std::size_t) {
     for (std::size_t o = ob; o < oe; ++o) {
-      // A nested fan-out must not deadlock and must cover its range.
       parallel_for(4, inner,
                    [&](std::size_t ib, std::size_t ie, std::size_t slot) {
                      EXPECT_LT(slot, 4u);
@@ -111,6 +114,59 @@ TEST(ParallelFor, NestedCallsRunInlineWithSamePartition) {
     }
   });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, TripleNestingDegradesPastTheBudgetAndCompletes) {
+  // Depth 0 and 1 submit to the pool; depth 2 runs inline.  Whatever the
+  // scheduling, every leaf index is visited exactly once.
+  const std::size_t a = 3, b = 4, c = 5;
+  std::vector<std::atomic<int>> hits(a * b * c);
+  parallel_for(8, a, [&](std::size_t ab, std::size_t ae, std::size_t) {
+    for (std::size_t i = ab; i < ae; ++i) {
+      parallel_for(8, b, [&](std::size_t bb, std::size_t be, std::size_t) {
+        for (std::size_t j = bb; j < be; ++j) {
+          parallel_for(8, c,
+                       [&](std::size_t cb, std::size_t ce, std::size_t) {
+                         for (std::size_t k = cb; k < ce; ++k) {
+                           hits[(i * b + j) * c + k]++;
+                         }
+                       });
+        }
+      });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedDeterministicAcrossThreadCounts) {
+  // The engine's update_batch shape: few outer chains, per-chain inner
+  // fan-outs.  Outputs must be bit-identical whether the inner loops get
+  // surplus workers (outer threads > chains) or run serially.
+  const std::size_t chains = 2, n = 64;
+  const auto run = [&](std::size_t outer_threads, std::size_t inner_threads) {
+    std::vector<double> out(chains * n);
+    parallel_for(outer_threads, chains,
+                 [&](std::size_t ob, std::size_t oe, std::size_t) {
+                   for (std::size_t o = ob; o < oe; ++o) {
+                     parallel_for(inner_threads, n,
+                                  [&](std::size_t ib, std::size_t ie,
+                                      std::size_t) {
+                                    for (std::size_t i = ib; i < ie; ++i) {
+                                      double acc = 0.0;
+                                      for (std::size_t k = 0; k <= i; ++k) {
+                                        acc += 1.0 / double(k + 1 + o);
+                                      }
+                                      out[o * n + i] = acc;
+                                    }
+                                  });
+                   }
+                 });
+    return out;
+  };
+  const auto serial = run(1, 1);
+  EXPECT_EQ(run(8, 8), serial);
+  EXPECT_EQ(run(2, 4), serial);
+  EXPECT_EQ(run(8, 1), serial);
 }
 
 TEST(ParallelFor, DeterministicSumViaExclusiveSlots) {

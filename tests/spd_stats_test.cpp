@@ -99,7 +99,7 @@ TEST(SpdStats, FactorSpdCountsAndRestoresOnFailure) {
   std::vector<double> d3(3);
   ASSERT_TRUE(factor_spd(spd, d3));
   std::vector<double> bx = {8.0, 2.0, 3.0};
-  cholesky_solve_in_place(spd, bx);
+  solve_factored_spd(spd, bx);
   EXPECT_DOUBLE_EQ(bx[0], 2.0);
   EXPECT_DOUBLE_EQ(bx[1], 2.0);
   EXPECT_DOUBLE_EQ(bx[2], 3.0);
