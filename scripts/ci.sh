@@ -18,6 +18,18 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 
+# .gitignore hygiene: build trees must never be tracked (they bloat every
+# clone this script runs in).  The repo ignores build/ and build-*/ — fail
+# fast if anything slipped past that.
+if git -C . rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  TRACKED_BUILD=$(git ls-files | grep -E '^build(/|-[^/]*/)' || true)
+  if [ -n "$TRACKED_BUILD" ]; then
+    echo "error: tracked files inside build trees (commit ignores them):" >&2
+    echo "$TRACKED_BUILD" >&2
+    exit 1
+  fi
+fi
+
 CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
             -DIUP_API_WERROR=ON)
 if [ -n "${SANITIZE:-}" ]; then

@@ -49,6 +49,22 @@ struct RsvdOptions {
   Constraint2Mode c2_mode = Constraint2Mode::kGaussSeidel;
   FactorInit init = FactorInit::kWarmStart;
   std::uint64_t init_seed = 7;  ///< seed for kRandom initialisation
+  /// Batch the per-column solves of the R-update (and, when Constraint 2
+  /// is inactive, the per-row solves of the L-update) by observation-mask
+  /// signature: columns whose normal matrix Q is provably identical share
+  /// one factor_spd and solve as a multi-RHS panel.  Results are
+  /// bit-identical to the ungrouped sweep at every thread count (the
+  /// invariant is documented in self_augmented.hpp); the knob exists for
+  /// the grouped-vs-ungrouped identity tests and A/B benches.
+  bool group_masks = true;
+  /// Opt-in objective-stagnation early stop: when > 0, a sweep that
+  /// still improves the objective but whose relative improvement
+  /// (v_prev - v) / max(|v_prev|, 1) falls below this tolerance ends the
+  /// solve (RsvdResult::stagnated); a transient objective increase is
+  /// not stagnation and never triggers it.  The default 0 keeps the full
+  /// max_iters trajectory, so every paper figure and historical result
+  /// is untouched unless a caller asks for the saving.
+  double stagnation_tol = 0.0;
 
   // Term weights.  The paper scales the constraint terms "to the same
   // order of magnitude" (Sec. IV-E); with auto_scale the weights below are
@@ -85,6 +101,12 @@ struct RsvdResult {
   std::vector<double> objective_history;  ///< v per iteration (line 5)
   std::size_t iterations = 0;
   bool reached_threshold = false;  ///< objective fell below v_th
+  bool stagnated = false;  ///< stopped by RsvdOptions::stagnation_tol
+  /// Mask-grouping diagnostics (RsvdOptions::group_masks): how many
+  /// multi-RHS groups (>= 2 columns sharing one factored Q) the R-update
+  /// solves per sweep, and how many of the grid columns they cover.
+  std::size_t mask_groups = 0;
+  std::size_t grouped_columns = 0;
 };
 
 /// Basic RSVD (Eq. 11): complete `x_b` over the observed mask `b` with no

@@ -1,9 +1,13 @@
 #include "core/self_augmented.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "core/constraints.hpp"
 #include "linalg/cholesky.hpp"
@@ -33,7 +37,15 @@
 //  * all shared inputs (L, R_prev, X_D, Gram products, G, H) are read-only
 //    during the fan-out;
 //  * no floating-point reduction crosses an index boundary, so the chunk
-//    partition cannot reorder any accumulation.
+//    partition cannot reorder any accumulation;
+//  * the mask-grouped sweep partitions parallel_for over the groups'
+//    member-count prefix space instead of columns (a group's members are
+//    solved against one shared factor, so they must stay in one chunk;
+//    weighting the partition by group size keeps chunks balanced when
+//    sizes are skewed); the group list is built once on the calling
+//    thread, each group writes only its members' output rows, and each
+//    member's solve is bit-identical to its per-column solve — so the
+//    1-vs-N-thread and grouped-vs-ungrouped identities both hold exactly.
 namespace iup::core {
 
 namespace {
@@ -68,12 +80,26 @@ double row_norm_sq(const linalg::Matrix& m, std::size_t row) {
 
 }  // namespace
 
+/// One batch of sweep indices whose normal matrix Q is identical (the
+/// mask-grouping invariant, self_augmented.hpp): Q is built and factored
+/// once from members.front() and every member solves as one RHS column of
+/// a shared panel.
+struct MaskGroup {
+  std::vector<std::size_t> members;  ///< ascending column / row indices
+};
+
 /// Scratch owned by one worker chunk.  Everything is overwritten from
 /// scratch for every index, so reuse across indices (and across sweeps)
 /// cannot leak state — a precondition for thread-count invariance.
 struct ThreadWorkspace {
   linalg::Matrix q;         ///< rr x rr normal-equation matrix
   std::vector<double> diag;  ///< rr, solve_spd_into retry scratch
+  // Mask-group scratch: the rr x k multi-RHS block of one group, the
+  // dot_panel reduction scratch of its back substitution, and a Q copy
+  // for the (rare) per-column LU-fallback replay.
+  linalg::Matrix panel;      ///< rr x k RHS panel of one mask group
+  std::vector<double> dots;  ///< k, solve_factored_spd_multi scratch
+  linalg::Matrix q_retry;    ///< group fallback: per-column solve replay
   // L-update Constraint-2 scratch (Theta_i stored transposed: row u of
   // theta_t is the factor of band cell (i, u) — a contiguous copy of a row
   // of R instead of a strided column write).
@@ -104,6 +130,18 @@ struct SweepContext {
   std::vector<std::vector<std::size_t>> unobs_rows;  ///< per column j
   std::vector<std::vector<std::size_t>> obs_cols;    ///< per row i
   std::vector<std::vector<std::size_t>> unobs_cols;  ///< per row i
+  // Mask groups, built once per solve when RsvdOptions::group_masks (the
+  // grouping depends only on B, the layout and the constraint weights —
+  // all fixed across sweeps).  Empty vectors select the ungrouped sweep.
+  std::vector<MaskGroup> col_groups;  ///< R-update (grid columns)
+  std::vector<MaskGroup> row_groups;  ///< L-update; only when Q is
+                                      ///< mask-only (Constraint 2 inactive)
+  // Member-count prefix offsets of the groups above: the grouped fan-out
+  // partitions this virtual index space (one slot per member) so chunk
+  // work stays balanced when group sizes are skewed — a chunk executes
+  // exactly the groups whose prefix offset lands inside it.
+  std::vector<std::size_t> col_group_starts;
+  std::vector<std::size_t> row_group_starts;
   // Sweep outputs (double-buffered against l_hat / r_hat in solve()).
   linalg::Matrix r_next;
   linalg::Matrix l_next;
@@ -114,6 +152,83 @@ struct SweepContext {
   linalg::Matrix hxd_obj;
   std::vector<ThreadWorkspace> ws;
 };
+
+namespace {
+
+/// Solve one mask group against `out`'s member rows (which already hold
+/// the right-hand sides): Q is built once from the representative member,
+/// factored once, and every member solves as one column of a shared RHS
+/// panel.  Size-1 groups and failed factorisations take the exact
+/// per-column solve_spd_into path, so grouped results are bit-identical
+/// to the ungrouped sweep in every case.  (SpdStats granularity is the
+/// one observable difference: a shared factorisation counts its bump
+/// recovery once per group instead of once per member, and the
+/// LU-fallback replay below adds one group-level failure on top of the
+/// per-member ladders.)
+template <typename BuildQ>
+void solve_mask_group(const MaskGroup& grp, ThreadWorkspace& ws,
+                      linalg::Matrix& out, const BuildQ& build_q) {
+  build_q(ws.q, grp.members.front());
+  if (grp.members.size() == 1) {
+    linalg::solve_spd_into(ws.q, out.row_span(grp.members.front()), ws.diag);
+    return;
+  }
+  if (!linalg::factor_spd(ws.q, ws.diag)) {
+    // Rare indefinite Q: factor_spd restored ws.q to the symmetrised
+    // unbumped input, so replaying solve_spd_into per member (on a copy —
+    // it destroys its matrix) reproduces the ungrouped retry ladder and
+    // LU fallback bit for bit.  (SpdStats on this path: the group-level
+    // attempt above counted one extra failure, then every member replay
+    // counts its own ladder — k members report k+1 failures vs the
+    // ungrouped sweep's k.)
+    for (const std::size_t j : grp.members) {
+      ws.q_retry = ws.q;
+      linalg::solve_spd_into(ws.q_retry, out.row_span(j), ws.diag);
+    }
+    return;
+  }
+  const std::size_t n = ws.q.rows();
+  const std::size_t k = grp.members.size();
+  ws.panel.resize(n, k);
+  ws.dots.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto row = out.row_span(grp.members[c]);
+    for (std::size_t i = 0; i < n; ++i) ws.panel(i, c) = row[i];
+  }
+  linalg::solve_factored_spd_multi(ws.q, ws.panel, ws.dots);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto row = out.row_span(grp.members[c]);
+    for (std::size_t i = 0; i < n; ++i) row[i] = ws.panel(i, c);
+  }
+}
+
+/// Invoke `fn(group, slot)` exactly once per mask group, fanning out over
+/// the groups' member-count prefix space (`total` = sum of member counts,
+/// `starts` the prefix offsets).  The partition is size-weighted so chunk
+/// work stays balanced when group sizes are skewed, and chunk boundaries
+/// are pure integer arithmetic, so the chunk-to-group assignment — and
+/// therefore every bit of the result — is identical at every thread
+/// count: a chunk executes exactly the groups whose prefix offset starts
+/// inside it.  Shared by the R- and L-update grouped paths so the
+/// assignment rule cannot drift between them.
+template <typename PerGroup>
+void for_each_group_chunked(std::size_t threads, std::size_t total,
+                            const std::vector<MaskGroup>& groups,
+                            const std::vector<std::size_t>& starts,
+                            const PerGroup& fn) {
+  parallel::parallel_for(
+      threads, total,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        std::size_t g = static_cast<std::size_t>(
+            std::lower_bound(starts.begin(), starts.end(), begin) -
+            starts.begin());
+        for (; g < starts.size() && starts[g] < end; ++g) {
+          fn(groups[g], slot);
+        }
+      });
+}
+
+}  // namespace
 
 SelfAugmentedRsvd::SelfAugmentedRsvd(BandLayout layout, RsvdOptions options)
     : layout_(layout), options_(options) {
@@ -189,6 +304,26 @@ linalg::Matrix SelfAugmentedRsvd::initial_factor(
     for (std::size_t i = 0; i < m; ++i) l0(i, k) = d.u(i, k) * s;
   }
   return l0;
+}
+
+std::pair<double, double> SelfAugmentedRsvd::c2_curvature(
+    const Weights& w, std::size_t j) const {
+  double w2c = 0.0;
+  double w3c = 0.0;
+  const std::size_t ii = layout_.band_of(j);
+  if (w.w2 > 0.0) w2c = w.w2 * row_norm_sq(g_, layout_.slot_of(j));
+  if (w.w3 > 0.0) {
+    if (options_.c2_mode == Constraint2Mode::kGaussSeidel) {
+      double count = 0.0;
+      if (ii > 0) count += 1.0;
+      if (ii + 1 < layout_.links) count += 1.0;
+      w3c = w.w3 * count;
+    } else {
+      // Published curvature: ||H(:, ii)||^2, repair (1) applied.
+      w3c = w.w3 * (ii + 1 < layout_.links ? 2.0 : 1.0);
+    }
+  }
+  return {w2c, w3c};
 }
 
 SelfAugmentedRsvd::Weights SelfAugmentedRsvd::effective_weights(
@@ -292,87 +427,101 @@ void SelfAugmentedRsvd::update_r(const RsvdProblem& problem, const Weights& w,
   }
 
   ctx.r_next.resize(n, rr);
-  parallel::parallel_for(ctx.threads, n, [&](std::size_t begin,
-                                             std::size_t end,
-                                             std::size_t slot) {
-    ThreadWorkspace& ws = ctx.ws[slot];
-    ws.q.resize(rr, rr);
-    ws.diag.resize(rr);
-    for (std::size_t j = begin; j < end; ++j) {
-      linalg::Matrix& q = ws.q;
-      const auto c = ctx.r_next.row_span(j);
-      std::fill(c.begin(), c.end(), 0.0);
 
-      // Data term in complement form: Q = (lambda*I + L^T L) minus the
-      // unobserved rows' outer products, instead of lambda*I plus the
-      // observed ones — far fewer rank-1 updates on realistic dense
-      // masks, identical curvature up to rounding.
-      std::copy(ctx.lql.data().begin(), ctx.lql.data().end(),
-                q.data().begin());
-      for (const std::size_t i : ctx.unobs_rows[j]) {
-        add_outer(q, l.row_span(i), -1.0);
-      }
-      for (const std::size_t i : ctx.obs_rows[j]) {
-        linalg::axpy(problem.x_b(i, j), l.row_span(i), c);
-      }
-
-      // Constraint 1: w1 ||L theta - p_j||^2 over all links.
-      if (w.w1 > 0.0) {
-        linalg::add_scaled(q, w.w1, ctx.ltl);
-        for (std::size_t i = 0; i < m; ++i) {
-          linalg::axpy(w.w1 * problem.p(i, j), l.row_span(i), c);
-        }
-      }
-
-      // Constraint 2: only the band entry (ii, jj) of column j is a
-      // largely-decrease element.
-      if (c2) {
-        const std::size_t ii = layout_.band_of(j);
-        const std::size_t jj = layout_.slot_of(j);
-        const auto l_band = l.row_span(ii);
-        if (w.w2 > 0.0) {
-          const double g_norm_sq = row_norm_sq(g_, jj);
-          add_outer(q, l_band, w.w2 * g_norm_sq);
-          if (gauss_seidel) {
-            // Cross term with the neighbouring slots of the current
-            // estimate: sum_q (XD*G)(ii,q) G(jj,q) with the self
-            // contribution removed.
-            double cross = 0.0;
-            for (std::size_t qq = 0; qq < layout_.slots; ++qq) {
-              const double others =
-                  ctx.xdg(ii, qq) - ctx.xd_cur(ii, jj) * g_(jj, qq);
-              cross += others * g_(jj, qq);
-            }
-            linalg::axpy(-w.w2 * cross, l_band, c);
-          }
-        }
-        if (w.w3 > 0.0) {
-          if (gauss_seidel) {
-            double count = 0.0, neighbor_sum = 0.0;
-            if (ii > 0) {
-              count += 1.0;
-              neighbor_sum += ctx.xd_cur(ii - 1, jj);
-            }
-            if (ii + 1 < layout_.links) {
-              count += 1.0;
-              neighbor_sum += ctx.xd_cur(ii + 1, jj);
-            }
-            add_outer(q, l_band, w.w3 * count);
-            linalg::axpy(w.w3 * neighbor_sum, l_band, c);
-          } else {
-            // Published curvature: ||H(:, ii)||^2, repair (1) applied.
-            const double h_col_sq = ii + 1 < layout_.links ? 2.0 : 1.0;
-            add_outer(q, l_band, w.w3 * h_col_sq);
-          }
-        }
-      }
-
-      // Solve in place: the right-hand side was built directly in the
-      // output row, so the solution lands there without a copy.
-      symmetrize_lower(q);
-      linalg::solve_spd_into(q, c, ws.diag);
+  // Q for column j — the exact op sequence of the historical per-column
+  // loop (the mask-grouping invariant relies on identical inputs plus an
+  // identical sequence producing identical bits).  Data term in
+  // complement form: Q = (lambda*I + L^T L) minus the unobserved rows'
+  // outer products, instead of lambda*I plus the observed ones — far
+  // fewer rank-1 updates on realistic dense masks, identical curvature
+  // up to rounding.
+  const auto build_q = [&](linalg::Matrix& q, std::size_t j) {
+    std::copy(ctx.lql.data().begin(), ctx.lql.data().end(),
+              q.data().begin());
+    for (const std::size_t i : ctx.unobs_rows[j]) {
+      add_outer(q, l.row_span(i), -1.0);
     }
-  });
+    // Constraint 1: w1 ||L theta - p_j||^2 over all links.
+    if (w.w1 > 0.0) linalg::add_scaled(q, w.w1, ctx.ltl);
+    // Constraint 2: only the band entry (ii, jj) of column j is a
+    // largely-decrease element.  The curvature scalars come from
+    // c2_curvature — the same helper the mask-group signature encodes.
+    if (c2) {
+      const auto l_band = l.row_span(layout_.band_of(j));
+      const auto [w2c, w3c] = c2_curvature(w, j);
+      if (w.w2 > 0.0) add_outer(q, l_band, w2c);
+      if (w.w3 > 0.0) add_outer(q, l_band, w3c);
+    }
+    symmetrize_lower(q);
+  };
+
+  // Right-hand side of column j, built directly in the output row so the
+  // in-place solve lands the solution there without a copy.
+  const auto build_rhs = [&](std::size_t j) {
+    const auto c = ctx.r_next.row_span(j);
+    std::fill(c.begin(), c.end(), 0.0);
+    for (const std::size_t i : ctx.obs_rows[j]) {
+      linalg::axpy(problem.x_b(i, j), l.row_span(i), c);
+    }
+    if (w.w1 > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        linalg::axpy(w.w1 * problem.p(i, j), l.row_span(i), c);
+      }
+    }
+    if (c2 && gauss_seidel) {
+      const std::size_t ii = layout_.band_of(j);
+      const std::size_t jj = layout_.slot_of(j);
+      const auto l_band = l.row_span(ii);
+      if (w.w2 > 0.0) {
+        // Cross term with the neighbouring slots of the current
+        // estimate: sum_q (XD*G)(ii,q) G(jj,q) with the self
+        // contribution removed.
+        double cross = 0.0;
+        for (std::size_t qq = 0; qq < layout_.slots; ++qq) {
+          const double others =
+              ctx.xdg(ii, qq) - ctx.xd_cur(ii, jj) * g_(jj, qq);
+          cross += others * g_(jj, qq);
+        }
+        linalg::axpy(-w.w2 * cross, l_band, c);
+      }
+      if (w.w3 > 0.0) {
+        double neighbor_sum = 0.0;
+        if (ii > 0) neighbor_sum += ctx.xd_cur(ii - 1, jj);
+        if (ii + 1 < layout_.links) neighbor_sum += ctx.xd_cur(ii + 1, jj);
+        linalg::axpy(w.w3 * neighbor_sum, l_band, c);
+      }
+    }
+  };
+
+  if (ctx.col_groups.empty()) {
+    // Ungrouped sweep: one Q + one solve per column.
+    parallel::parallel_for(ctx.threads, n, [&](std::size_t begin,
+                                               std::size_t end,
+                                               std::size_t slot) {
+      ThreadWorkspace& ws = ctx.ws[slot];
+      ws.q.resize(rr, rr);
+      ws.diag.resize(rr);
+      for (std::size_t j = begin; j < end; ++j) {
+        build_q(ws.q, j);
+        build_rhs(j);
+        linalg::solve_spd_into(ws.q, ctx.r_next.row_span(j), ws.diag);
+      }
+    });
+    return;
+  }
+
+  // Mask-grouped sweep: a group's members share one factored Q and must
+  // stay in one chunk (see for_each_group_chunked for the size-weighted
+  // deterministic partition).
+  for_each_group_chunked(
+      ctx.threads, n, ctx.col_groups, ctx.col_group_starts,
+      [&](const MaskGroup& grp, std::size_t slot) {
+        ThreadWorkspace& ws = ctx.ws[slot];
+        ws.q.resize(rr, rr);
+        ws.diag.resize(rr);
+        for (const std::size_t j : grp.members) build_rhs(j);
+        solve_mask_group(grp, ws, ctx.r_next, build_q);
+      });
 }
 
 void SelfAugmentedRsvd::update_l(const RsvdProblem& problem, const Weights& w,
@@ -404,6 +553,55 @@ void SelfAugmentedRsvd::update_l(const RsvdProblem& problem, const Weights& w,
   }
 
   ctx.l_next.resize(m, rr);
+
+  // Q and RHS for row i, data + Constraint-1 terms only (complement-form
+  // data term, mirroring update_r) — shared verbatim by the grouped and
+  // ungrouped paths below so they cannot drift apart.  The Q stream stops
+  // before the Constraint-2 curvature: the ungrouped loop appends it, the
+  // grouped path (mask-only Q by construction) symmetrizes directly.
+  const auto build_q_base = [&](linalg::Matrix& q, std::size_t i) {
+    std::copy(ctx.rql.data().begin(), ctx.rql.data().end(),
+              q.data().begin());
+    for (const std::size_t j : ctx.unobs_cols[i]) {
+      add_outer(q, r.row_span(j), -1.0);
+    }
+    if (w.w1 > 0.0) linalg::add_scaled(q, w.w1, ctx.rtr);
+  };
+  const auto build_rhs_base = [&](std::size_t i) {
+    const auto c = ctx.l_next.row_span(i);
+    std::fill(c.begin(), c.end(), 0.0);
+    for (const std::size_t j : ctx.obs_cols[i]) {
+      linalg::axpy(problem.x_b(i, j), r.row_span(j), c);
+    }
+    if (w.w1 > 0.0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        linalg::axpy(w.w1 * problem.p(i, j), r.row_span(j), c);
+      }
+    }
+  };
+
+  if (!ctx.row_groups.empty()) {
+    // Mask-grouped L-update.  Only reached when Constraint 2 is inactive
+    // (solve() builds row_groups for mask-only Q), so Q is exactly
+    // (lambda*I + R^T R) minus the unobserved columns' outer products
+    // plus the optional Constraint-1 curvature — identical for rows
+    // sharing an unobserved set.
+    const auto build_q = [&](linalg::Matrix& q, std::size_t i) {
+      build_q_base(q, i);
+      symmetrize_lower(q);
+    };
+    for_each_group_chunked(
+        ctx.threads, m, ctx.row_groups, ctx.row_group_starts,
+        [&](const MaskGroup& grp, std::size_t slot) {
+          ThreadWorkspace& ws = ctx.ws[slot];
+          ws.q.resize(rr, rr);
+          ws.diag.resize(rr);
+          for (const std::size_t i : grp.members) build_rhs_base(i);
+          solve_mask_group(grp, ws, ctx.l_next, build_q);
+        });
+    return;
+  }
+
   parallel::parallel_for(ctx.threads, m, [&](std::size_t begin,
                                              std::size_t end,
                                              std::size_t slot) {
@@ -417,25 +615,9 @@ void SelfAugmentedRsvd::update_l(const RsvdProblem& problem, const Weights& w,
     }
     for (std::size_t i = begin; i < end; ++i) {
       linalg::Matrix& q = ws.q;
+      build_q_base(q, i);
+      build_rhs_base(i);
       const auto c = ctx.l_next.row_span(i);
-      std::fill(c.begin(), c.end(), 0.0);
-
-      // Complement-form data term, mirroring update_r.
-      std::copy(ctx.rql.data().begin(), ctx.rql.data().end(),
-                q.data().begin());
-      for (const std::size_t j : ctx.unobs_cols[i]) {
-        add_outer(q, r.row_span(j), -1.0);
-      }
-      for (const std::size_t j : ctx.obs_cols[i]) {
-        linalg::axpy(problem.x_b(i, j), r.row_span(j), c);
-      }
-
-      if (w.w1 > 0.0) {
-        linalg::add_scaled(q, w.w1, ctx.rtr);
-        for (std::size_t j = 0; j < n; ++j) {
-          linalg::axpy(w.w1 * problem.p(i, j), r.row_span(j), c);
-        }
-      }
 
       if (c2) {
         // Theta_i stored transposed: row u of theta_t is the factor of
@@ -543,7 +725,79 @@ RsvdResult SelfAugmentedRsvd::solve(const RsvdProblem& problem) const {
     }
   }
 
+  // Mask grouping (the invariant is documented in the header): a column's
+  // Q depends on the mask/layout structure and the current factor only —
+  // never on the column's observed values — so columns whose Q-defining
+  // inputs coincide share Q bit for bit in every sweep.  Encode those
+  // inputs (unobserved row set; under Constraint 2 also the band row and
+  // the scalar curvature weights) as a byte-string signature and group by
+  // it, keeping first-occurrence order so the grouped fan-out is
+  // deterministic.  Built once: B and the weights are fixed per solve.
+  if (options_.group_masks) {
+    const std::size_t m = problem.b.rows();
+    const std::size_t n = problem.b.cols();
+    const bool c2 = options_.use_constraint2 && (w.w2 > 0.0 || w.w3 > 0.0);
+    const auto append_word = [](std::string& key, std::uint64_t word) {
+      for (int b = 0; b < 64; b += 8) {
+        key.push_back(static_cast<char>((word >> b) & 0xff));
+      }
+    };
+    const auto group_by_signature =
+        [&](std::size_t count,
+            const std::vector<std::vector<std::size_t>>& unobs,
+            const auto& extra_words, std::vector<MaskGroup>& groups) {
+          std::unordered_map<std::string, std::size_t> index;
+          std::string key;
+          for (std::size_t j = 0; j < count; ++j) {
+            key.clear();
+            extra_words(key, j);
+            for (const std::size_t i : unobs[j]) {
+              append_word(key, static_cast<std::uint64_t>(i));
+            }
+            const auto [it, inserted] =
+                index.try_emplace(key, groups.size());
+            if (inserted) groups.emplace_back();
+            groups[it->second].members.push_back(j);
+          }
+        };
+    group_by_signature(
+        n, ctx.unobs_rows,
+        [&](std::string& key, std::size_t j) {
+          if (!c2) return;
+          append_word(key, static_cast<std::uint64_t>(layout_.band_of(j)));
+          const auto [w2c, w3c] = c2_curvature(w, j);
+          append_word(key, std::bit_cast<std::uint64_t>(w2c));
+          append_word(key, std::bit_cast<std::uint64_t>(w3c));
+        },
+        ctx.col_groups);
+    // The L-update's Q gains per-row Theta curvature under Constraint 2,
+    // which makes every row unique; group rows only when Q is mask-only.
+    if (!c2) {
+      group_by_signature(
+          m, ctx.unobs_cols, [](std::string&, std::size_t) {},
+          ctx.row_groups);
+    }
+    const auto prefix_starts = [](const std::vector<MaskGroup>& groups,
+                                  std::vector<std::size_t>& starts) {
+      starts.clear();
+      starts.reserve(groups.size());
+      std::size_t acc = 0;
+      for (const MaskGroup& grp : groups) {
+        starts.push_back(acc);
+        acc += grp.members.size();
+      }
+    };
+    prefix_starts(ctx.col_groups, ctx.col_group_starts);
+    prefix_starts(ctx.row_groups, ctx.row_group_starts);
+  }
+
   RsvdResult out;
+  for (const MaskGroup& grp : ctx.col_groups) {
+    if (grp.members.size() >= 2) {
+      ++out.mask_groups;
+      out.grouped_columns += grp.members.size();
+    }
+  }
   double best_v = std::numeric_limits<double>::infinity();
   double v_initial = -1.0;
   const double data_scale =
@@ -591,6 +845,18 @@ RsvdResult SelfAugmentedRsvd::solve(const RsvdProblem& problem) const {
     if (hist >= 2) {
       const double prev = out.objective_history[hist - 2];
       if (std::abs(prev - v) <= 1e-10 * std::max(prev, 1.0)) break;
+      // Opt-in early stop (RsvdOptions::stagnation_tol): end the solve
+      // once a sweep still improves the objective but by less than the
+      // tolerance.  A transient increase (possible under kPaperLiteral's
+      // cross-term-free curvature) is NOT stagnation — keep sweeping and
+      // let the best_v tracking hold the best iterate.  Off by default —
+      // the full max_iters trajectory is the paper's.
+      if (options_.stagnation_tol > 0.0 && prev >= v &&
+          prev - v <=
+              options_.stagnation_tol * std::max(std::abs(prev), 1.0)) {
+        out.stagnated = true;
+        break;
+      }
     }
   }
 

@@ -20,7 +20,30 @@
 // row; no reduction is reordered).  All sweep scratch lives in a
 // SweepContext of caller-owned buffers, so steady-state iterations perform
 // zero heap allocations.
+//
+// Mask-grouping invariant (RsvdOptions::group_masks, default on).  The
+// normal matrix Q of the column-j R-update is
+//
+//   Q_j = (lambda*I + L^T L) - sum_{i unobserved in column j} l_i l_i^T
+//       + w1 L^T L                                     (Constraint 1)
+//       + (w2 ||G(jj,:)||^2 + w3 c_ii) l_ii l_ii^T     (Constraint 2)
+//
+// with ii = band_of(j), jj = slot_of(j) and c_ii the similarity curvature
+// count.  Q_j therefore depends ONLY on (a) the column's unobserved row
+// set, (b) its band row ii, and (c) the two scalar curvature weights —
+// never on the observed VALUES, which enter the right-hand side alone.
+// Columns that agree on (a)-(c) share Q bit for bit in every sweep (same
+// inputs, same op sequence), so the sweep groups them once per solve,
+// factors each group's Q once, and solves the group's right-hand sides as
+// one multi-RHS panel (linalg::solve_factored_spd_multi), whose per-column
+// results are bit-identical to the historical one-column loop.  The same
+// holds for L-update rows when Constraint 2 is inactive (with c2 active,
+// the per-row Theta curvature makes every row's Q unique).  Guarantees:
+// grouped and ungrouped sweeps are exactly equal, at every thread count
+// and kernel dispatch level (tests/linalg_spd_multi_test.cpp).
 #pragma once
+
+#include <utility>
 
 #include "core/fingerprint.hpp"
 #include "core/rsvd.hpp"
@@ -61,6 +84,16 @@ class SelfAugmentedRsvd {
   /// X_B completed with the Constraint-1 prediction (or row means): the
   /// warm-start matrix, also the reference iterate for auto-scaling.
   linalg::Matrix warm_matrix(const RsvdProblem& problem) const;
+
+  /// The two scalar Constraint-2 curvature weights of column j's normal
+  /// matrix (the coefficients of its l_band outer products): {w2c, w3c}
+  /// with w2c = w2 ||G(jj,:)||^2 and w3c the similarity count /
+  /// h-column factor of band ii.  Single source of truth for the
+  /// R-update's Q build AND solve()'s mask-group signature — the
+  /// grouping invariant is only sound while the signature encodes
+  /// exactly the scalars the Q build applies.
+  std::pair<double, double> c2_curvature(const Weights& w,
+                                         std::size_t j) const;
   Weights effective_weights(const RsvdProblem& problem) const;
   double objective(const RsvdProblem& problem, const Weights& w,
                    const linalg::Matrix& l, const linalg::Matrix& r,

@@ -60,6 +60,21 @@ bool factor_spd(Matrix& a, std::span<double> diag_scratch);
 /// solve through cholesky_solve_in_place instead.)
 void solve_factored_spd(const Matrix& r, std::span<double> bx);
 
+/// Multi-RHS variant of solve_factored_spd: `panel` is a row-major n x k
+/// block whose COLUMNS are the k right-hand sides (panel(i, c) = b_c[i] on
+/// entry, x_c[i] on exit), `dot_scratch` caller-owned scratch of length >=
+/// k.  Guarantee: every column of the result is bit-identical to running
+/// solve_factored_spd(r, that column) on its own — the forward elimination
+/// streams the same per-element fused ops across the panel rows (IEEE
+/// multiplication/FMA commute bitwise in their factor operands), and the
+/// back substitution reduces each column through kernels::dot_panel, which
+/// replays the active level's dot() reduction tree per column.  This is
+/// the factor-once solve-many hot path of the mask-grouped sweep
+/// (core/self_augmented.cpp): columns sharing an observation mask share Q,
+/// so one factor_spd feeds one panel solve for the whole group.
+void solve_factored_spd_multi(const Matrix& r, Matrix& panel,
+                              std::span<double> dot_scratch);
+
 /// Solve a x = b for SPD a.  Retries with a diagonal bump, then falls back
 /// to LU, so callers never have to branch on definiteness themselves.
 std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);

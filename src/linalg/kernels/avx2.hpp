@@ -51,8 +51,11 @@ inline double dot(const double* a, const double* b, std::size_t n) {
                            acc0);
     i += 4;
   }
+  // Explicit fma pins the tail arithmetic the optimiser was already
+  // emitting under default FP contraction — dot_panel must be able to
+  // replay it exactly (lane or scalar), so it cannot be left to flags.
   double tail = 0.0;
-  for (; i < n; ++i) tail += a[i] * b[i];
+  for (; i < n; ++i) tail = std::fma(a[i], b[i], tail);
   return detail::hsum(_mm256_add_pd(acc0, acc1)) + tail;
 }
 
@@ -176,6 +179,74 @@ inline double masked_diff_norm_sq(const double* mask, const double* x,
     tail += d * d;
   }
   return detail::hsum(_mm256_add_pd(acc0, acc1)) + tail;
+}
+
+/// Panel dot (the trsv_multi back-substitution kernel): out[c] =
+/// avx2::dot(a, column c of the row-major n x k panel b) bit for bit,
+/// vectorised ACROSS the k RHS columns.  Per column the chunk/lane role
+/// structure of this level's dot() is replayed exactly: eight
+/// accumulators (one per mod-8 position class — acc0's four lanes are
+/// classes 0..3, acc1's are 4..7), the optional 4-chunk feeding classes
+/// 0..3, an fma tail chain, and the combine hsum(acc0 + acc1) + tail
+/// — lane sums acc[l] + acc[l+4] first, then the fixed
+/// (l0+l1)+(l2+l3) tree, then + tail.  Column blocks of 4 run in ymm
+/// registers; leftover columns replay the identical op sequence in
+/// scalar std::fma arithmetic.
+inline void dot_panel(const double* a, const double* b, std::size_t ldb,
+                      std::size_t n, std::size_t k, double* out) {
+  std::size_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    __m256d acc[8];
+    for (int l = 0; l < 8; ++l) acc[l] = _mm256_setzero_pd();
+    std::size_t p = 0;
+    for (; p + 8 <= n; p += 8) {
+      for (int l = 0; l < 8; ++l) {
+        acc[l] = _mm256_fmadd_pd(_mm256_set1_pd(a[p + l]),
+                                 _mm256_loadu_pd(b + (p + l) * ldb + c),
+                                 acc[l]);
+      }
+    }
+    if (p + 4 <= n) {
+      for (int l = 0; l < 4; ++l) {
+        acc[l] = _mm256_fmadd_pd(_mm256_set1_pd(a[p + l]),
+                                 _mm256_loadu_pd(b + (p + l) * ldb + c),
+                                 acc[l]);
+      }
+      p += 4;
+    }
+    __m256d t = _mm256_setzero_pd();
+    for (; p < n; ++p) {
+      t = _mm256_fmadd_pd(_mm256_set1_pd(a[p]),
+                          _mm256_loadu_pd(b + p * ldb + c), t);
+    }
+    // hsum(acc0 + acc1) + tail, replayed per column: lane l of
+    // (acc0 + acc1) is acc[l] + acc[l + 4].
+    __m256d s[4];
+    for (int l = 0; l < 4; ++l) s[l] = _mm256_add_pd(acc[l], acc[l + 4]);
+    const __m256d r = _mm256_add_pd(_mm256_add_pd(s[0], s[1]),
+                                    _mm256_add_pd(s[2], s[3]));
+    _mm256_storeu_pd(out + c, _mm256_add_pd(r, t));
+  }
+  for (; c < k; ++c) {
+    double acc[8] = {};
+    std::size_t p = 0;
+    for (; p + 8 <= n; p += 8) {
+      for (int l = 0; l < 8; ++l) {
+        acc[l] = std::fma(a[p + l], b[(p + l) * ldb + c], acc[l]);
+      }
+    }
+    if (p + 4 <= n) {
+      for (int l = 0; l < 4; ++l) {
+        acc[l] = std::fma(a[p + l], b[(p + l) * ldb + c], acc[l]);
+      }
+      p += 4;
+    }
+    double t = 0.0;
+    for (; p < n; ++p) t = std::fma(a[p], b[p * ldb + c], t);
+    const double s0 = acc[0] + acc[4], s1 = acc[1] + acc[5];
+    const double s2 = acc[2] + acc[6], s3 = acc[3] + acc[7];
+    out[c] = ((s0 + s1) + (s2 + s3)) + t;
+  }
 }
 
 }  // namespace iup::linalg::kernels::avx2

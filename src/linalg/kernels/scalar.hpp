@@ -79,4 +79,19 @@ inline double masked_diff_norm_sq(const double* mask, const double* x,
   return acc;
 }
 
+/// Panel dot (the trsv_multi back-substitution kernel): out[c] =
+/// scalar::dot(a, column c of the row-major n x k panel b), bit for bit.
+/// Each column keeps one sequential accumulator fed in ascending p order
+/// — the exact op chain of scalar::dot — while the p-outer / c-inner loop
+/// order lets the compiler vectorise across the independent columns.
+inline void dot_panel(const double* a, const double* b, std::size_t ldb,
+                      std::size_t n, std::size_t k, double* out) {
+  for (std::size_t c = 0; c < k; ++c) out[c] = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double ap = a[p];
+    const double* row = b + p * ldb;
+    for (std::size_t c = 0; c < k; ++c) out[c] += ap * row[c];
+  }
+}
+
 }  // namespace iup::linalg::kernels::scalar

@@ -80,14 +80,6 @@ Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
   return m;
 }
 
-double& Matrix::operator()(std::size_t i, std::size_t j) {
-  return data_[index(i, j)];
-}
-
-double Matrix::operator()(std::size_t i, std::size_t j) const {
-  return data_[index(i, j)];
-}
-
 double& Matrix::at(std::size_t i, std::size_t j) {
   if (i >= rows_ || j >= cols_) {
     throw std::out_of_range("Matrix::at(" + std::to_string(i) + "," +
@@ -100,14 +92,6 @@ double& Matrix::at(std::size_t i, std::size_t j) {
 
 double Matrix::at(std::size_t i, std::size_t j) const {
   return const_cast<Matrix*>(this)->at(i, j);
-}
-
-std::span<double> Matrix::row_span(std::size_t i) {
-  return std::span<double>(data_).subspan(i * cols_, cols_);
-}
-
-std::span<const double> Matrix::row_span(std::size_t i) const {
-  return std::span<const double>(data_).subspan(i * cols_, cols_);
 }
 
 std::vector<double> Matrix::row(std::size_t i) const {

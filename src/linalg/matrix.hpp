@@ -72,8 +72,16 @@ class Matrix {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& operator()(std::size_t i, std::size_t j);
-  double operator()(std::size_t i, std::size_t j) const;
+  // Element access and row views are defined inline: the solver sweep
+  // reads/writes through them millions of times per reconstruct, and
+  // without LTO an out-of-line one-line accessor costs a function call
+  // per element — measurably more than the arithmetic around it.
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[index(i, j)];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[index(i, j)];
+  }
 
   /// Bounds-checked element access (throws std::out_of_range).
   double& at(std::size_t i, std::size_t j);
@@ -83,8 +91,12 @@ class Matrix {
   std::span<const double> data() const { return data_; }
 
   /// Contiguous view of row i.
-  std::span<double> row_span(std::size_t i);
-  std::span<const double> row_span(std::size_t i) const;
+  std::span<double> row_span(std::size_t i) {
+    return std::span<double>(data_).subspan(i * cols_, cols_);
+  }
+  std::span<const double> row_span(std::size_t i) const {
+    return std::span<const double>(data_).subspan(i * cols_, cols_);
+  }
 
   /// Copies of a row / column as std::vector.
   std::vector<double> row(std::size_t i) const;

@@ -18,11 +18,6 @@ void check_same_length(std::span<const double> a, std::span<const double> b,
 }
 }  // namespace
 
-double dot(std::span<const double> a, std::span<const double> b) {
-  check_same_length(a, b, "dot");
-  return kernels::dot(a.data(), b.data(), a.size());
-}
-
 double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
 
 double norm1(std::span<const double> x) {
@@ -35,13 +30,6 @@ double norm_inf(std::span<const double> x) {
   double acc = 0.0;
   for (double v : x) acc = std::max(acc, std::abs(v));
   return acc;
-}
-
-void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  if (x.size() != y.size()) {
-    throw std::invalid_argument("axpy: length mismatch");
-  }
-  kernels::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 std::vector<double> add(std::span<const double> a, std::span<const double> b) {

@@ -6,12 +6,26 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
 #include <vector>
+
+#include "linalg/kernels/kernels.hpp"
 
 namespace iup::linalg {
 
+// dot and axpy are defined inline: the Algorithm-1 sweep calls them on
+// rank-width (8-16 element) rows ~10^5 times per reconstruct, where an
+// out-of-line call (no LTO) costs as much as the kernel it wraps.  Both
+// forward straight to the active dispatch level, so inlining changes no
+// arithmetic.
+
 /// Dot product; lengths must match.
-double dot(std::span<const double> a, std::span<const double> b);
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vec dot: length mismatch");
+  }
+  return kernels::dot(a.data(), b.data(), a.size());
+}
 
 /// Euclidean norm ||x||_2.
 double norm2(std::span<const double> x);
@@ -23,7 +37,13 @@ double norm1(std::span<const double> x);
 double norm_inf(std::span<const double> x);
 
 /// y += alpha * x  (lengths must match).
-void axpy(double alpha, std::span<const double> x, std::span<double> y);
+inline void axpy(double alpha, std::span<const double> x,
+                 std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("axpy: length mismatch");
+  }
+  kernels::axpy(alpha, x.data(), y.data(), x.size());
+}
 
 /// Element-wise a + b and a - b.
 std::vector<double> add(std::span<const double> a, std::span<const double> b);

@@ -77,6 +77,55 @@ TEST(BasicRsvd, RandomInitReducesObjective) {
             0.5 * result.objective_history.front());
 }
 
+TEST(SelfAugmented, StagnationTolDefaultLeavesResultsUnchanged) {
+  // The early stop is strictly opt-in: a default-constructed config and an
+  // explicit stagnation_tol = 0 must produce the identical trajectory.
+  const auto f = make_completion(8, 40, 2, 0.7, 64);
+  RsvdOptions defaults;
+  defaults.rank = 4;
+  defaults.max_iters = 30;
+  RsvdOptions explicit_off = defaults;
+  explicit_off.stagnation_tol = 0.0;
+  const BandLayout layout{8, 5};
+  RsvdProblem problem;
+  problem.x_b = f.x_b;
+  problem.b = f.b;
+  const auto a = SelfAugmentedRsvd(layout, defaults).solve(problem);
+  const auto b = SelfAugmentedRsvd(layout, explicit_off).solve(problem);
+  EXPECT_EQ(a.l, b.l);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.x_hat, b.x_hat);
+  EXPECT_EQ(a.objective_history, b.objective_history);
+  EXPECT_FALSE(a.stagnated);
+  EXPECT_FALSE(b.stagnated);
+}
+
+TEST(SelfAugmented, StagnationTolOptInStopsEarlyNearTheSameObjective) {
+  const auto f = make_completion(8, 40, 2, 0.7, 65);
+  RsvdOptions full;
+  full.rank = 4;
+  full.max_iters = 60;
+  RsvdOptions early = full;
+  early.stagnation_tol = 1e-4;
+  const BandLayout layout{8, 5};
+  RsvdProblem problem;
+  problem.x_b = f.x_b;
+  problem.b = f.b;
+  const auto ref = SelfAugmentedRsvd(layout, full).solve(problem);
+  const auto cut = SelfAugmentedRsvd(layout, early).solve(problem);
+  ASSERT_FALSE(ref.objective_history.empty());
+  ASSERT_FALSE(cut.objective_history.empty());
+  EXPECT_TRUE(cut.stagnated);
+  ASSERT_LT(cut.iterations, ref.iterations);
+  // The truncated run IS a prefix of the full one (same sweeps, earlier
+  // exit), and the abandoned tail was already flat by construction.
+  for (std::size_t k = 0; k < cut.objective_history.size(); ++k) {
+    EXPECT_EQ(cut.objective_history[k], ref.objective_history[k]) << k;
+  }
+  EXPECT_NEAR(cut.objective_history.back(), ref.objective_history.back(),
+              2e-2 * std::abs(ref.objective_history.back()));
+}
+
 TEST(SelfAugmented, RandomInitMatchesWarmStartOnRealPipeline) {
   // On the real (constraint-anchored) problem the paper's random init and
   // our warm start land in the same place.

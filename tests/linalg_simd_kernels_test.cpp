@@ -39,7 +39,11 @@ std::vector<double> random_vec(std::size_t n, rng::Rng& rng) {
 }
 
 TEST(KernelDispatch, LevelNameIsConsistent) {
-  if (active_level() == Level::kAvx2) {
+  if (active_level() == Level::kAvx512) {
+    EXPECT_STREQ(active_level_name(), "avx512");
+    // The packed GEMM runs its AVX2 block kernel at every SIMD level.
+    EXPECT_TRUE(gemm_is_vectorized());
+  } else if (active_level() == Level::kAvx2) {
     EXPECT_STREQ(active_level_name(), "avx2");
     EXPECT_TRUE(gemm_is_vectorized());
   } else {
@@ -200,7 +204,7 @@ TEST(KernelGemm, AccumulatesAscendingKAtTheActiveLevel) {
     auto got = random_vec(m * n, rng);
     auto ref = got;
     gemm_accumulate(a.data(), k, b.data(), n, got.data(), n, m, k, n);
-    const bool fma = active_level() == Level::kAvx2;
+    const bool fma = active_level() != Level::kScalar;
     for (std::size_t i = 0; i < m; ++i) {
       for (std::size_t j = 0; j < n; ++j) {
         double acc = ref[i * n + j];
@@ -225,7 +229,7 @@ TEST(KernelGemm, RespectsLeadingDimensions) {
   auto got = random_vec(m * ldc, rng);
   auto ref = got;
   gemm_accumulate(a.data(), lda, b.data(), ldb, got.data(), ldc, m, k, n);
-  const bool fma = active_level() == Level::kAvx2;
+  const bool fma = active_level() != Level::kScalar;
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       double acc = ref[i * ldc + j];
@@ -243,6 +247,49 @@ TEST(KernelGemm, RespectsLeadingDimensions) {
       SCOPED_TRACE(i);
       EXPECT_EQ(got[i * ldc + j], ref[i * ldc + j]);
     }
+  }
+}
+
+TEST(KernelDotPanel, EveryColumnBitIdenticalToDot) {
+  // The trsv_multi contract: out[c] must reproduce the active level's
+  // dot() on a contiguous copy of panel column c, bit for bit — this is
+  // what lets the multi-RHS SPD back substitution keep every RHS equal to
+  // the historical single-column solve.  Cover sub-lane, lane-boundary
+  // and tail lengths in BOTH dimensions plus padded leading dimensions.
+  rng::Rng rng(111);
+  for (const std::size_t n : {0ul, 1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 9ul,
+                              12ul, 15ul, 16ul, 17ul, 31ul, 37ul}) {
+    for (const std::size_t k : {1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 9ul,
+                                11ul, 16ul, 19ul}) {
+      for (const std::size_t pad : {0ul, 3ul}) {
+        const std::size_t ld = k + pad;
+        const auto a = random_vec(n, rng);
+        const auto panel = random_vec(n * ld + 1, rng);
+        std::vector<double> out(k, -1.0);
+        dot_panel(a.data(), panel.data(), ld, n, k, out.data());
+        for (std::size_t c = 0; c < k; ++c) {
+          std::vector<double> col(n);
+          for (std::size_t p = 0; p < n; ++p) col[p] = panel[p * ld + c];
+          EXPECT_EQ(out[c], dot(a.data(), col.data(), n))
+              << "n=" << n << " k=" << k << " ld=" << ld << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDotPanel, ScalarLevelMatchesScalarDot) {
+  // The always-available reference level obeys the same contract.
+  rng::Rng rng(112);
+  const std::size_t n = 13, k = 6;
+  const auto a = random_vec(n, rng);
+  const auto panel = random_vec(n * k, rng);
+  std::vector<double> out(k);
+  scalar::dot_panel(a.data(), panel.data(), k, n, k, out.data());
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> col(n);
+    for (std::size_t p = 0; p < n; ++p) col[p] = panel[p * k + c];
+    EXPECT_EQ(out[c], scalar::dot(a.data(), col.data(), n)) << c;
   }
 }
 

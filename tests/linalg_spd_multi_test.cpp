@@ -1,0 +1,255 @@
+// The batched multi-RHS SPD pipeline: solve_factored_spd_multi must be
+// bit-identical, column for column, to the single-RHS solve_factored_spd
+// loop it replaces (the contract in linalg/cholesky.hpp), and the
+// mask-grouped Algorithm-1 sweep built on it must be bit-identical to the
+// ungrouped sweep at every thread count.  All comparisons here are exact
+// (operator==), never tolerances — the CI matrix runs this suite at every
+// kernel dispatch level (scalar, AVX2, AVX-512).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/self_augmented.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+#include "test_util.hpp"
+
+namespace iup {
+namespace {
+
+/// Well-conditioned SPD matrix: Gram of a random tall factor + lambda*I.
+linalg::Matrix random_spd(std::size_t n, rng::Rng& rng) {
+  linalg::Matrix a = test::random_matrix(n + 4, n, rng).gram();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.05;
+  return a;
+}
+
+/// Per-column reference: factor once, solve_factored_spd per column.
+linalg::Matrix solve_columns_one_by_one(const linalg::Matrix& factor,
+                                        const linalg::Matrix& rhs_panel) {
+  linalg::Matrix out = rhs_panel;
+  std::vector<double> col(rhs_panel.rows());
+  for (std::size_t c = 0; c < rhs_panel.cols(); ++c) {
+    rhs_panel.copy_col_into(c, col);
+    linalg::solve_factored_spd(factor, col);
+    out.set_col(c, col);
+  }
+  return out;
+}
+
+TEST(SpdSolveMulti, EveryColumnBitIdenticalToSingleRhsSolve) {
+  rng::Rng rng(301);
+  for (const std::size_t n : {1ul, 2ul, 3ul, 5ul, 8ul, 11ul, 13ul, 16ul}) {
+    for (const std::size_t k : {1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 9ul,
+                                12ul, 17ul}) {
+      linalg::Matrix factor = random_spd(n, rng);
+      std::vector<double> diag(n);
+      ASSERT_TRUE(linalg::factor_spd(factor, diag)) << n;
+
+      const linalg::Matrix rhs = test::random_matrix(n, k, rng);
+      linalg::Matrix panel = rhs;
+      std::vector<double> dots(k);
+      linalg::solve_factored_spd_multi(factor, panel, dots);
+
+      EXPECT_EQ(panel, solve_columns_one_by_one(factor, rhs))
+          << "n=" << n << " k=" << k << " level="
+          << linalg::kernels::active_level_name();
+    }
+  }
+}
+
+TEST(SpdSolveMulti, DuplicatedRhsColumnsProduceIdenticalSolutions) {
+  // The mask-group aliasing case: several grid columns can carry the same
+  // right-hand side; their panel columns must come out bit-equal.
+  rng::Rng rng(302);
+  const std::size_t n = 8, k = 6;
+  linalg::Matrix factor = random_spd(n, rng);
+  std::vector<double> diag(n);
+  ASSERT_TRUE(linalg::factor_spd(factor, diag));
+
+  const std::vector<double> b = test::random_matrix(n, 1, rng).col(0);
+  linalg::Matrix panel(n, k);
+  for (std::size_t c = 0; c < k; ++c) panel.set_col(c, b);
+  std::vector<double> dots(k);
+  linalg::solve_factored_spd_multi(factor, panel, dots);
+  for (std::size_t c = 1; c < k; ++c) {
+    EXPECT_EQ(panel.col(c), panel.col(0)) << c;
+  }
+}
+
+TEST(SpdSolveMulti, RetryBumpFactorMatchesSingleRhsSolve) {
+  // Rank-deficient Gram: the plain factorisation fails and factor_spd
+  // recovers via the deterministic diagonal bump.  The bumped factor must
+  // feed the multi solve exactly like the single-RHS path.
+  rng::Rng rng(303);
+  const std::size_t n = 6, k = 5;
+  const linalg::Matrix low = test::random_low_rank(n, n, 2, rng);
+  linalg::Matrix a = low.gram();  // rank 2, PSD, not PD
+
+  linalg::reset_spd_stats();
+  linalg::Matrix factor = a;
+  std::vector<double> diag(n);
+  ASSERT_TRUE(linalg::factor_spd(factor, diag));
+  const linalg::SpdStats stats = linalg::spd_stats();
+  EXPECT_EQ(stats.cholesky_failures, 1u);
+  EXPECT_EQ(stats.bump_recoveries, 1u);
+
+  const linalg::Matrix rhs = test::random_matrix(n, k, rng);
+  linalg::Matrix panel = rhs;
+  std::vector<double> dots(k);
+  linalg::solve_factored_spd_multi(factor, panel, dots);
+  EXPECT_EQ(panel, solve_columns_one_by_one(factor, rhs));
+}
+
+TEST(SpdSolveMulti, RejectsShapeAndScratchMismatch) {
+  rng::Rng rng(304);
+  linalg::Matrix factor = random_spd(4, rng);
+  std::vector<double> diag(4);
+  ASSERT_TRUE(linalg::factor_spd(factor, diag));
+  linalg::Matrix bad_rows(3, 2);
+  std::vector<double> dots(2);
+  EXPECT_THROW(linalg::solve_factored_spd_multi(factor, bad_rows, dots),
+               std::invalid_argument);
+  linalg::Matrix panel(4, 3);
+  EXPECT_THROW(linalg::solve_factored_spd_multi(factor, panel, dots),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Mask-grouped sweep identities.
+// ---------------------------------------------------------------------------
+
+core::RsvdProblem structured_problem(const core::BandLayout& layout,
+                                     rng::Rng& rng) {
+  // A mask with realistic sharing: whole bands blank out a common row
+  // pattern, plus some per-column noise — so the sweep sees a mix of
+  // multi-column groups and unique masks (both paths exercised).
+  const std::size_t m = layout.links;
+  const std::size_t n = layout.num_cells();
+  const linalg::Matrix x_full = test::random_low_rank(m, n, 3, rng);
+  core::RsvdProblem problem;
+  problem.b = linalg::Matrix(m, n, 1.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    problem.b(layout.band_of(j), j) = 0.0;  // shared in-band pattern
+    if (rng.uniform() < 0.15) {
+      problem.b(rng.uniform_index(m), j) = 0.0;  // occasional unique mask
+    }
+  }
+  problem.x_b = problem.b.hadamard(x_full);
+  problem.p = x_full;
+  for (double& v : problem.p.data()) v += rng.normal(0.0, 0.01);
+  return problem;
+}
+
+core::RsvdResult solve_grouped(const core::RsvdProblem& problem,
+                               const core::BandLayout& layout, bool grouped,
+                               std::size_t threads,
+                               bool constraint2 = true) {
+  core::RsvdOptions options;
+  options.max_iters = 6;
+  options.group_masks = grouped;
+  options.threads = threads;
+  options.use_constraint2 = constraint2;
+  return core::SelfAugmentedRsvd(layout, options).solve(problem);
+}
+
+TEST(MaskGroupedSweep, GroupedBitIdenticalToUngrouped) {
+  rng::Rng rng(305);
+  const core::BandLayout layout{8, 12};
+  const core::RsvdProblem problem = structured_problem(layout, rng);
+
+  const core::RsvdResult plain = solve_grouped(problem, layout, false, 1);
+  const core::RsvdResult grouped = solve_grouped(problem, layout, true, 1);
+  ASSERT_GT(grouped.mask_groups, 0u);
+  ASSERT_GT(grouped.grouped_columns, grouped.mask_groups);
+  EXPECT_EQ(plain.mask_groups, 0u);  // knob off => no grouping ran
+  EXPECT_EQ(grouped.l, plain.l);
+  EXPECT_EQ(grouped.r, plain.r);
+  EXPECT_EQ(grouped.x_hat, plain.x_hat);
+  EXPECT_EQ(grouped.objective_history, plain.objective_history);
+}
+
+TEST(MaskGroupedSweep, GroupedBitIdenticalAcrossThreadCounts) {
+  rng::Rng rng(306);
+  const core::BandLayout layout{8, 12};
+  const core::RsvdProblem problem = structured_problem(layout, rng);
+
+  const core::RsvdResult base = solve_grouped(problem, layout, true, 1);
+  for (const std::size_t threads : {2u, 3u, 8u, 0u /* auto */}) {
+    const core::RsvdResult other =
+        solve_grouped(problem, layout, true, threads);
+    EXPECT_EQ(other.l, base.l) << threads << " threads";
+    EXPECT_EQ(other.r, base.r) << threads << " threads";
+    EXPECT_EQ(other.x_hat, base.x_hat) << threads << " threads";
+    EXPECT_EQ(other.objective_history, base.objective_history);
+    EXPECT_EQ(other.mask_groups, base.mask_groups);
+  }
+}
+
+TEST(MaskGroupedSweep, RowGroupingWithoutConstraint2MatchesUngrouped) {
+  // With Constraint 2 off, the L-update rows group by unobserved-column
+  // set too; results must still match the ungrouped sweep exactly.
+  rng::Rng rng(307);
+  const core::BandLayout layout{8, 12};
+  const core::RsvdProblem problem = structured_problem(layout, rng);
+
+  const core::RsvdResult plain =
+      solve_grouped(problem, layout, false, 1, /*constraint2=*/false);
+  const core::RsvdResult grouped =
+      solve_grouped(problem, layout, true, 4, /*constraint2=*/false);
+  EXPECT_EQ(grouped.l, plain.l);
+  EXPECT_EQ(grouped.r, plain.r);
+  EXPECT_EQ(grouped.x_hat, plain.x_hat);
+  EXPECT_EQ(grouped.objective_history, plain.objective_history);
+}
+
+TEST(MaskGroupedSweep, PaperLiteralModeGroupedMatchesUngrouped) {
+  // kPaperLiteral takes the other similarity-curvature branch of
+  // c2_curvature (||H(:, ii)||^2 instead of the Gauss-Seidel neighbour
+  // count); grouping must stay exact there too.
+  rng::Rng rng(308);
+  const core::BandLayout layout{8, 12};
+  const core::RsvdProblem problem = structured_problem(layout, rng);
+  core::RsvdOptions options;
+  options.max_iters = 6;
+  options.c2_mode = core::Constraint2Mode::kPaperLiteral;
+  options.group_masks = false;
+  const auto plain = core::SelfAugmentedRsvd(layout, options).solve(problem);
+  options.group_masks = true;
+  options.threads = 4;
+  const auto grouped =
+      core::SelfAugmentedRsvd(layout, options).solve(problem);
+  ASSERT_GT(grouped.mask_groups, 0u);
+  EXPECT_EQ(grouped.l, plain.l);
+  EXPECT_EQ(grouped.r, plain.r);
+  EXPECT_EQ(grouped.x_hat, plain.x_hat);
+  EXPECT_EQ(grouped.objective_history, plain.objective_history);
+}
+
+TEST(MaskGroupedSweep, OfficeTestbedReconstructionIsGroupedAndIdentical) {
+  // The real pipeline: the office testbed's physically-structured mask
+  // concentrates the grid columns on a handful of signatures; the grouped
+  // default must reproduce the ungrouped reconstruction bit for bit.
+  const auto& run = test::office_run();
+  core::UpdaterConfig grouped_cfg;
+  core::UpdaterConfig plain_cfg;
+  plain_cfg.rsvd.group_masks = false;
+  const core::IUpdater grouped(run.ground_truth.at_day(0), run.b_mask,
+                               grouped_cfg);
+  const core::IUpdater plain(run.ground_truth.at_day(0), run.b_mask,
+                             plain_cfg);
+  const auto inputs =
+      eval::collect_update_inputs(run, grouped.reference_cells(), 45);
+  const auto a = grouped.reconstruct(inputs);
+  const auto b = plain.reconstruct(inputs);
+  EXPECT_GT(a.solver.mask_groups, 0u);
+  EXPECT_GE(a.solver.grouped_columns, run.b_mask.cols() / 2);
+  EXPECT_EQ(a.x_hat, b.x_hat);
+  EXPECT_EQ(a.solver.objective_history, b.solver.objective_history);
+}
+
+}  // namespace
+}  // namespace iup
