@@ -1,0 +1,232 @@
+// Fleet soak harness for the serving layer (driven by scripts/soak.sh).
+//
+// Replays a simulated device fleet against a multi-site Engine: reader
+// threads stream drifting online RSS measurements (the sim drift model
+// moves the field day by day) through localize — alternating between the
+// direct lock-free path and the ServeFront coalescing front — while a
+// background thread commits periodic updates with a tight history limit,
+// so bundle publication, warm-start reuse and snapshot eviction all churn
+// underneath the readers for the whole run.
+//
+// Exit code is the verdict: nonzero on any failed localize/update, or if
+// the zero-locks read-path contract was violated.  Reports total QPS and
+// p50/p99/p999 single-call latency on stdout.  Built plainly (no
+// google-benchmark), so it runs unchanged under ASan and TSan — that is
+// the CI serve-soak smoke job.
+//
+// Usage: bench_serve_soak [duration_s] [readers] [sites] [update_ms]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "eval/experiment.hpp"
+#include "serve/front.hpp"
+#include "serve/shard.hpp"
+#include "sim/sampler.hpp"
+
+namespace {
+
+using namespace iup;
+using Clock = std::chrono::steady_clock;
+
+struct SoakConfig {
+  double duration_s = 10.0;
+  std::size_t readers = 4;
+  std::size_t sites = 2;
+  std::size_t update_period_ms = 250;
+};
+
+struct ReaderStats {
+  std::vector<double> latencies_us;
+  std::uint64_t queries = 0;
+  std::uint64_t errors = 0;
+  std::string first_error;
+};
+
+double percentile_us(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakConfig config;
+  if (argc > 1) config.duration_s = std::atof(argv[1]);
+  if (argc > 2) config.readers = static_cast<std::size_t>(std::atol(argv[2]));
+  if (argc > 3) config.sites = static_cast<std::size_t>(std::atol(argv[3]));
+  if (argc > 4) {
+    config.update_period_ms = static_cast<std::size_t>(std::atol(argv[4]));
+  }
+  if (config.duration_s <= 0 || config.readers == 0 || config.sites == 0) {
+    std::fprintf(stderr,
+                 "usage: %s [duration_s] [readers] [sites] [update_ms]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const eval::EnvironmentRun run(sim::make_office_testbed());
+  // Tight history limit: the background updates evict snapshots while
+  // readers hold published bundles — the evict-while-read soak.
+  api::Engine engine(api::EngineConfig().history_limit(4));
+  std::vector<std::string> sites;
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    sites.push_back("site-" + std::to_string(s));
+    const auto registered = eval::register_run(engine, run, sites.back());
+    if (!registered.ok()) {
+      std::fprintf(stderr, "register %s: %s\n", sites.back().c_str(),
+                   registered.status().to_string().c_str());
+      return 1;
+    }
+  }
+  serve::ServeFrontOptions front_options;
+  front_options.max_batch = 16;
+  front_options.max_wait = std::chrono::microseconds(200);
+  serve::ServeFront front(engine.shards(), front_options);
+
+  // The fleet's drifting traces: each reader replays measurements whose
+  // day index walks through the drift model's trajectory, so the online
+  // vectors decorrelate from the day-0 database exactly the way a real
+  // deployment's would between updates.
+  const std::vector<std::size_t> trace_days = {0, 5, 15, 30, 45};
+  const std::size_t cells = run.testbed.num_cells();
+
+  const std::uint64_t violations_before = serve::read_path_lock_violations();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> updates_committed{0};
+  std::atomic<std::uint64_t> update_errors{0};
+
+  std::vector<ReaderStats> stats(config.readers);
+  std::vector<std::thread> readers;
+  readers.reserve(config.readers);
+  const auto soak_start = Clock::now();
+  for (std::size_t t = 0; t < config.readers; ++t) {
+    readers.emplace_back([&, t] {
+      ReaderStats& my = stats[t];
+      sim::Sampler sampler(run.testbed, "soak-" + std::to_string(t));
+      // Even readers take the direct lock-free path, odd readers go
+      // through the coalescing front — both serve the same bundles.
+      const bool via_front = (t % 2) == 1;
+      std::size_t k = t;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string& site = sites[k % sites.size()];
+        const std::size_t day = trace_days[(k / 3) % trace_days.size()];
+        const auto query =
+            sampler.online_measurement((k * 7) % cells, day, 1);
+        const auto t0 = Clock::now();
+        const auto result = via_front ? front.localize(site, query)
+                                      : engine.localize(site, query);
+        const auto t1 = Clock::now();
+        ++my.queries;
+        my.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        if (!result.ok()) {
+          ++my.errors;
+          if (my.first_error.empty()) {
+            my.first_error = result.status().to_string();
+          }
+        }
+        ++k;
+      }
+    });
+  }
+
+  std::thread updater([&] {
+    std::size_t u = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string& site = sites[u % sites.size()];
+      const std::size_t day = trace_days[1 + u % (trace_days.size() - 1)];
+      const auto cells_r = engine.reference_cells(site);
+      if (!cells_r.ok()) {
+        ++update_errors;
+        break;
+      }
+      const auto result = engine.update(eval::collect_update_request(
+          run, site, cells_r.value(), day, 5,
+          "soak-update-" + std::to_string(u)));
+      if (result.ok()) {
+        ++updates_committed;
+      } else {
+        std::fprintf(stderr, "update %s day %zu: %s\n", site.c_str(), day,
+                     result.status().to_string().c_str());
+        ++update_errors;
+      }
+      ++u;
+      const auto wake = Clock::now() +
+                        std::chrono::milliseconds(config.update_period_ms);
+      while (Clock::now() < wake && !stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(config.duration_s));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  updater.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - soak_start).count();
+
+  std::vector<double> all_us;
+  std::uint64_t queries = 0;
+  std::uint64_t errors = 0;
+  for (const ReaderStats& s : stats) {
+    queries += s.queries;
+    errors += s.errors;
+    all_us.insert(all_us.end(), s.latencies_us.begin(),
+                  s.latencies_us.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  const std::uint64_t violations =
+      serve::read_path_lock_violations() - violations_before;
+
+  std::printf("serve soak: %.1f s, %zu readers, %zu sites, update every "
+              "%zu ms\n",
+              wall, config.readers, config.sites, config.update_period_ms);
+  std::printf("  queries   %llu (%.0f qps)\n",
+              static_cast<unsigned long long>(queries),
+              wall > 0 ? static_cast<double>(queries) / wall : 0.0);
+  std::printf("  latency   p50 %.1f us   p99 %.1f us   p999 %.1f us\n",
+              percentile_us(all_us, 0.50), percentile_us(all_us, 0.99),
+              percentile_us(all_us, 0.999));
+  std::printf("  updates   %llu committed, %llu failed\n",
+              static_cast<unsigned long long>(updates_committed.load()),
+              static_cast<unsigned long long>(update_errors.load()));
+  std::printf("  front     %llu requests in %llu batches (largest %llu)\n",
+              static_cast<unsigned long long>(front.total_requests()),
+              static_cast<unsigned long long>(front.total_batches()),
+              static_cast<unsigned long long>(front.largest_batch()));
+  std::printf("  read-path lock violations: %llu\n",
+              static_cast<unsigned long long>(violations));
+
+  if (errors > 0) {
+    for (const ReaderStats& s : stats) {
+      if (!s.first_error.empty()) {
+        std::fprintf(stderr, "reader error: %s\n", s.first_error.c_str());
+        break;
+      }
+    }
+    return 1;
+  }
+  if (update_errors.load() > 0) return 1;
+  if (violations != 0) return 1;
+  if (queries == 0 || updates_committed.load() == 0) {
+    std::fprintf(stderr, "soak did not exercise the pipeline (queries=%llu "
+                 "updates=%llu)\n",
+                 static_cast<unsigned long long>(queries),
+                 static_cast<unsigned long long>(updates_committed.load()));
+    return 1;
+  }
+  std::puts("serve soak OK");
+  return 0;
+}

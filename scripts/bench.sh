@@ -30,28 +30,37 @@ if command -v ccache > /dev/null 2>&1; then
   CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_solvers
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target bench_micro_solvers bench_serve_throughput
 
-BIN="$BUILD_DIR/bench/bench_micro_solvers"
-if [ ! -x "$BIN" ]; then
-  echo "bench_micro_solvers was not built (google-benchmark missing?)" >&2
-  exit 1
-fi
+# Both google-benchmark binaries feed one merged BENCH_micro.json: the
+# solver micro benches and the serving-path throughput/latency rows.
+BINS=("$BUILD_DIR/bench/bench_micro_solvers"
+      "$BUILD_DIR/bench/bench_serve_throughput")
+TMPS=()
+trap 'rm -f "${TMPS[@]}"' EXIT
+for BIN in "${BINS[@]}"; do
+  if [ ! -x "$BIN" ]; then
+    echo "$(basename "$BIN") was not built (google-benchmark missing?)" >&2
+    exit 1
+  fi
+  TMP=$(mktemp)
+  TMPS+=("$TMP")
+  # Older google-benchmark wants a plain double for --benchmark_min_time;
+  # newer releases accept it too (with a deprecation warning).
+  "$BIN" --benchmark_min_time="$MIN_TIME" --benchmark_filter="$FILTER" \
+         --benchmark_format=json > "$TMP"
+done
 
-TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
-# Older google-benchmark wants a plain double for --benchmark_min_time;
-# newer releases accept it too (with a deprecation warning).
-"$BIN" --benchmark_min_time="$MIN_TIME" --benchmark_filter="$FILTER" \
-       --benchmark_format=json > "$TMP"
-
-python3 - "$TMP" "$OUT" <<'EOF'
+python3 - "${TMPS[@]}" "$OUT" <<'EOF'
 import json
 import sys
 
-run = json.load(open(sys.argv[1]))
-out_path = sys.argv[2]
-entry = {"context": run.get("context", {}), "benchmarks": run["benchmarks"]}
+runs = [json.load(open(path)) for path in sys.argv[1:-1]]
+out_path = sys.argv[-1]
+entry = {"context": runs[0].get("context", {}),
+         "benchmarks": [b for run in runs
+                        for b in run.get("benchmarks", [])]}
 try:
     with open(out_path) as f:
         prev = json.load(f)

@@ -42,7 +42,18 @@ DEFAULT_SKIP = [
     r"^BM_UpdateBatchFourSites/(?!1$)\d+$",
     r"^BM_LocalizeBatch/(?!1$)\d+$",
     r"^BM_RassGridSearch/(?!1$)\d+$",
+    # Multi-reader serve rows overlap R threads on however many cores the
+    # host has; the /1 rows (and their latency counters) stay gated.
+    r"^BM_ServeThroughput/(?!1/)\d",
+    r"^BM_ServeFrontThroughput/(?!1/)\d",
 ]
+
+# Latency counters gated alongside real_time.  Only "smaller is better"
+# counters belong here — a throughput counter like qps would be read
+# backwards by the ratio check.  Stored in the row table as
+# "<benchmark>@<counter>", in ns, so the skip regexes and the report
+# format apply unchanged.
+LATENCY_COUNTERS = ("p50_us", "p99_us")
 
 # Per-row noise-floor overrides (regex -> ns).  The dot micro-kernel rows
 # run in nanoseconds: on a shared CI box their wall clock is dominated by
@@ -55,11 +66,20 @@ ROW_NOISE_FLOORS = [
     # One 16x16 factor + panel solve runs in ~1-3 us: pure turbo lottery
     # on a shared box, so it can only ever warn.
     (r"^BM_SpdSolveMulti", 50000.0),
+    # Tail latency needs far more samples than a 0.1 s bench window
+    # collects; below 100 us the p99 row is sampling noise, not a signal.
+    (r"@p99_us$", 100000.0),
 ]
 
 
 def load_rows(section):
-    return {b["name"]: b["real_time"] for b in section.get("benchmarks", [])}
+    rows = {}
+    for b in section.get("benchmarks", []):
+        rows[b["name"]] = b["real_time"]
+        for counter in LATENCY_COUNTERS:
+            if counter in b:
+                rows[f"{b['name']}@{counter}"] = b[counter] * 1000.0  # -> ns
+    return rows
 
 
 def main():

@@ -58,3 +58,7 @@ if [ -z "${SANITIZE:-}" ] && [ -x "$BUILD_DIR/bench/bench_micro_solvers" ]; then
   "$BUILD_DIR/bench/bench_micro_solvers" --benchmark_min_time=0.01 \
       --benchmark_filter='BM_Algorithm1Sweep|BM_FullUpdate|BM_LocalizeBatch'
 fi
+if [ -z "${SANITIZE:-}" ] && [ -x "$BUILD_DIR/bench/bench_serve_throughput" ]; then
+  "$BUILD_DIR/bench/bench_serve_throughput" --benchmark_min_time=0.01 \
+      --benchmark_filter='BM_ServeThroughput/1'
+fi

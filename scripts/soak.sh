@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Serve-path soak driver: build bench_serve_soak and replay a simulated
+# device fleet (concurrent localize readers + background updates) against
+# the serving layer, failing on any error status, latency accounting
+# mismatch or read-path lock violation.
+#
+# Usage:
+#   scripts/soak.sh                        10 s, 4 readers, 2 sites
+#   DURATION=30 READERS=8 scripts/soak.sh  longer / wider
+#   SANITIZE=thread scripts/soak.sh        TSan soak (CI smoke job)
+#   SANITIZE=address scripts/soak.sh       ASan+UBSan soak
+#
+# Sanitized runs build Debug (matching scripts/ci.sh) into their own build
+# tree; plain runs build Release.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION=${DURATION:-10}
+READERS=${READERS:-4}
+SITES=${SITES:-2}
+UPDATE_MS=${UPDATE_MS:-250}
+SANITIZE=${SANITIZE:-}
+
+if [ -n "$SANITIZE" ]; then
+  BUILD_DIR=${BUILD_DIR:-build-soak-$SANITIZE}
+  CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Debug -DIUP_SANITIZE="$SANITIZE")
+else
+  BUILD_DIR=${BUILD_DIR:-build-soak}
+  CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+fi
+CMAKE_ARGS+=(-DIUP_API_WERROR=ON)
+if command -v ccache > /dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_serve_soak
+
+# Same runtime tightening as scripts/ci.sh: surface every finding, fail
+# the run on it.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-strict_string_checks=1:detect_stack_use_after_return=1:halt_on_error=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
+
+"$BUILD_DIR/bench/bench_serve_soak" "$DURATION" "$READERS" "$SITES" \
+    "$UPDATE_MS"

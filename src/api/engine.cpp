@@ -59,12 +59,12 @@ Engine::Engine(EngineConfig config)
 std::shared_ptr<const core::LrrWarmStart> Engine::lrr_warm_for(
     const std::string& site, std::uint64_t version) const {
   if (!lrr_warm_enabled_) return nullptr;
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  const auto it = warm_starts_.find(site);
-  if (it == warm_starts_.end() || it->second.lrr_version != version) {
-    return nullptr;
-  }
-  return it->second.lrr;
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) return nullptr;
+  const auto lock = shard->lock_for_update();
+  const serve::WarmCaches& caches = shard->caches(lock);
+  if (caches.lrr_version != version) return nullptr;
+  return caches.lrr;
 }
 
 std::shared_ptr<const core::LrrWarmStart> Engine::lrr_state_of(
@@ -77,6 +77,43 @@ std::shared_ptr<const core::LrrWarmStart> Engine::lrr_state_of(
   return state;
 }
 
+void Engine::cache_warm_state(
+    const std::string& site, std::uint64_t version,
+    std::shared_ptr<const linalg::Matrix> factor,
+    std::shared_ptr<const core::LrrWarmStart> lrr) const {
+  if (factor == nullptr && lrr == nullptr) return;
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) return;  // site dropped since the commit
+  const auto lock = shard->lock_for_update();
+  serve::WarmCaches& caches = shard->caches(lock);
+  // Monotonic: never let a slower writer overwrite a newer commit's cache
+  // with an older entry (consultation is exact-version-match, so a stale
+  // overwrite would only cost a cold start — but it is free to prevent).
+  if (factor != nullptr && version >= caches.factor_version) {
+    caches.factor_version = version;
+    caches.factor = std::move(factor);
+  }
+  if (lrr != nullptr && version >= caches.lrr_version) {
+    caches.lrr_version = version;
+    caches.lrr = std::move(lrr);
+  }
+}
+
+Result<std::shared_ptr<const loc::Localizer>> Engine::build_localizer(
+    const linalg::Matrix& database, const sim::Deployment* deployment) const {
+  // A null result is a VALID bundle payload: the configured kind needs
+  // deployment geometry that is not attached yet, so the site publishes a
+  // data-only bundle and localize() reports the precondition until
+  // attach_deployment republishes.
+  try {
+    return std::shared_ptr<const loc::Localizer>(make_localizer(
+        config_.localizer(), database, deployment, config_.threads()));
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("localizer construction: ") +
+                            e.what());
+  }
+}
+
 Result<SnapshotPtr> Engine::register_site(std::string site,
                                           linalg::Matrix x_original,
                                           linalg::Matrix b_mask) {
@@ -84,7 +121,7 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
     return Status::invalid_argument("register_site: empty site name");
   }
   {
-    std::lock_guard<std::mutex> lock(*state_mutex_);
+    const auto lock = state_lock();
     if (store_.contains(site)) {
       return Status::failed_precondition("register_site: site '" + site +
                                          "' is already registered");
@@ -129,52 +166,64 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
     return Status::internal(std::string("register_site: ") + e.what());
   }
 
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  // Re-check under the commit lock: a concurrent register_site for the
-  // same name may have won the race since the early check above.
-  if (store_.contains(site)) {
-    return Status::failed_precondition("register_site: site '" + site +
-                                       "' is already registered");
+  // The first serving bundle's localizer, built outside the lock (no
+  // deployment can be attached before registration succeeds).
+  Result<std::shared_ptr<const loc::Localizer>> localizer =
+      build_localizer(x_original, nullptr);
+  if (!localizer.ok()) return localizer.status();
+
+  std::uint64_t version = 0;
+  SnapshotPtr published;
+  {
+    const auto lock = state_lock();
+    // Re-check under the commit lock: a concurrent register_site for the
+    // same name may have won the race since the early check above.
+    if (store_.contains(site)) {
+      return Status::failed_precondition("register_site: site '" + site +
+                                         "' is already registered");
+    }
+    auto snapshot = std::make_shared<FingerprintSnapshot>(
+        site, store_.next_version(site), std::move(x_original),
+        std::move(b_mask), layout, std::move(mic.reference_cells),
+        std::move(z));
+    if (const Status put = store_.put(snapshot); !put.ok()) return put;
+    version = snapshot->version();
+    published = snapshot;
+    const auto shard = shards_->emplace(site);
+    shard->publish(std::make_shared<const serve::PublishedSite>(
+        serve::PublishedSite{published, std::move(localizer).value()}));
   }
-  auto snapshot = std::make_shared<FingerprintSnapshot>(
-      site, store_.next_version(site), std::move(x_original),
-      std::move(b_mask), layout, std::move(mic.reference_cells),
-      std::move(z));
-  if (const Status put = store_.put(snapshot); !put.ok()) return put;
-  if (lrr_state != nullptr) {
-    WarmStart& ws = warm_starts_[snapshot->site()];
-    ws.lrr_version = snapshot->version();
-    ws.lrr = std::move(lrr_state);
-  }
-  return SnapshotPtr(std::move(snapshot));
+  cache_warm_state(site, version, nullptr, std::move(lrr_state));
+  return published;
 }
 
 Status Engine::drop_site(const std::string& site) {
-  std::lock_guard<std::mutex> lock(*state_mutex_);
+  const auto lock = state_lock();
   deployments_.erase(site);
-  localizers_.erase(site);
-  warm_starts_.erase(site);
+  // Readers that already resolved the shard keep serving its last bundle;
+  // new lookups miss.  Warm caches die with the shard.
+  shards_->erase(site);
   return store_.erase_site(site);
 }
 
 std::optional<std::uint64_t> Engine::warm_start_version(
     const std::string& site) const {
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  const auto it = warm_starts_.find(site);
-  if (it == warm_starts_.end() || it->second.l0 == nullptr) {
-    return std::nullopt;
-  }
-  return it->second.version;
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) return std::nullopt;
+  const auto lock = shard->lock_for_update();
+  const serve::WarmCaches& caches = shard->caches(lock);
+  if (caches.factor == nullptr) return std::nullopt;
+  return caches.factor_version;
 }
 
 std::optional<std::uint64_t> Engine::lrr_warm_version(
     const std::string& site) const {
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  const auto it = warm_starts_.find(site);
-  if (it == warm_starts_.end() || it->second.lrr == nullptr) {
-    return std::nullopt;
-  }
-  return it->second.lrr_version;
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) return std::nullopt;
+  const auto lock = shard->lock_for_update();
+  const serve::WarmCaches& caches = shard->caches(lock);
+  if (caches.lrr == nullptr) return std::nullopt;
+  return caches.lrr_version;
 }
 
 Status Engine::attach_deployment(const std::string& site,
@@ -182,24 +231,50 @@ Status Engine::attach_deployment(const std::string& site,
   if (deployment == nullptr) {
     return Status::invalid_argument("attach_deployment: null deployment");
   }
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  if (!store_.contains(site)) {
-    return Status::not_found("attach_deployment: unknown site '" + site +
-                             "'");
+  SnapshotPtr snap;
+  {
+    const auto lock = state_lock();
+    if (!store_.contains(site)) {
+      return Status::not_found("attach_deployment: unknown site '" + site +
+                               "'");
+    }
+    // From here on every commit path reads the new pointer at its own
+    // commit time, so any update racing with this attach republishes with
+    // geometry itself (the deployment-pointer recheck in update()).
+    deployments_[site] = deployment;
+    snap = store_.latest(site).value();
   }
-  deployments_[site] = deployment;
-  localizers_.erase(site);  // rebuild with geometry on next localize
+
+  Result<std::shared_ptr<const loc::Localizer>> localizer =
+      build_localizer(snap->database(), deployment);
+  if (!localizer.ok()) return localizer.status();
+
+  const auto lock = state_lock();
+  const auto current = deployments_.find(site);
+  if (current == deployments_.end() || current->second != deployment) {
+    return Status();  // a newer attach/drop superseded us; its publish wins
+  }
+  const Result<SnapshotPtr> latest = store_.latest(site);
+  if (!latest.ok() || latest.value()->version() != snap->version()) {
+    // The site advanced while we were building: that commit already
+    // published a bundle built with the pointer we installed above.
+    return Status();
+  }
+  if (const auto shard = shards_->find(site); shard != nullptr) {
+    shard->publish(std::make_shared<const serve::PublishedSite>(
+        serve::PublishedSite{snap, std::move(localizer).value()}));
+  }
   return Status();
 }
 
 Result<SnapshotPtr> Engine::snapshot(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(*state_mutex_);
+  const auto lock = state_lock();
   return store_.latest(site);
 }
 
 Result<SnapshotPtr> Engine::snapshot(const std::string& site,
                                      std::uint64_t version) const {
-  std::lock_guard<std::mutex> lock(*state_mutex_);
+  const auto lock = state_lock();
   return store_.at_version(site, version);
 }
 
@@ -242,22 +317,30 @@ Status Engine::set_reference_cells(const std::string& site,
   std::shared_ptr<const core::LrrWarmStart> lrr_state;
   if (lrr_warm_enabled_) lrr_state = lrr_state_of(z, std::move(lrr));
 
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  if (store_.next_version(site) != snap->version() + 1) {
-    return Status::failed_precondition(
-        "set_reference_cells: site '" + site +
-        "' advanced past version " + std::to_string(snap->version()) +
-        " while re-acquiring the correlation (concurrent update)");
+  std::uint64_t version = 0;
+  {
+    const auto lock = state_lock();
+    if (store_.next_version(site) != snap->version() + 1) {
+      return Status::failed_precondition(
+          "set_reference_cells: site '" + site +
+          "' advanced past version " + std::to_string(snap->version()) +
+          " while re-acquiring the correlation (concurrent update)");
+    }
+    auto next = std::make_shared<FingerprintSnapshot>(
+        site, snap->version() + 1, snap->database(), snap->mask(),
+        snap->layout(), std::move(cells), std::move(z), snap->day());
+    if (const Status put = store_.put(next); !put.ok()) return put;
+    version = next->version();
+    if (const auto shard = shards_->find(site); shard != nullptr) {
+      // The database is unchanged, so the published localizer matches the
+      // new snapshot bit for bit — republish it with the new version
+      // rather than rebuilding the dictionary.
+      const serve::PublishedPtr bundle = shard->published();
+      shard->publish(std::make_shared<const serve::PublishedSite>(
+          serve::PublishedSite{std::move(next), bundle->localizer}));
+    }
   }
-  auto next = std::make_shared<FingerprintSnapshot>(
-      site, snap->version() + 1, snap->database(), snap->mask(),
-      snap->layout(), std::move(cells), std::move(z), snap->day());
-  if (const Status put = store_.put(next); !put.ok()) return put;
-  if (lrr_state != nullptr) {
-    WarmStart& ws = warm_starts_[site];
-    ws.lrr_version = next->version();
-    ws.lrr = std::move(lrr_state);
-  }
+  cache_warm_state(site, version, nullptr, std::move(lrr_state));
   return Status();
 }
 
@@ -292,14 +375,13 @@ Result<UpdateResult> Engine::solve_request(const FingerprintSnapshot& snap,
     // Seed the solver from the cached factor when — and only when — it was
     // derived from the exact snapshot this solve reads; any other version
     // means the site moved underneath the cache and the solver starts cold.
-    // Only the pointer moves under the lock; the copy happens outside it.
+    // Only the pointer moves under the shard lock; the copy happens
+    // outside it.
     std::shared_ptr<const linalg::Matrix> cached;
-    {
-      std::lock_guard<std::mutex> lock(*state_mutex_);
-      const auto it = warm_starts_.find(snap.site());
-      if (it != warm_starts_.end() && it->second.version == snap.version()) {
-        cached = it->second.l0;
-      }
+    if (const auto shard = shards_->find(snap.site()); shard != nullptr) {
+      const auto lock = shard->lock_for_update();
+      const serve::WarmCaches& caches = shard->caches(lock);
+      if (caches.factor_version == snap.version()) cached = caches.factor;
     }
     if (cached != nullptr) problem.l0 = *cached;
   }
@@ -334,9 +416,16 @@ Result<core::LrrResult> Engine::refreshed_correlation(
 }
 
 Result<UpdateResult> Engine::update(const UpdateRequest& request) {
-  Result<SnapshotPtr> latest = snapshot(request.site);
-  if (!latest.ok()) return latest.status();
-  const SnapshotPtr& snap = latest.value();
+  SnapshotPtr snap;
+  const sim::Deployment* deployment = nullptr;
+  {
+    const auto lock = state_lock();
+    Result<SnapshotPtr> latest = store_.latest(request.site);
+    if (!latest.ok()) return latest.status();
+    snap = latest.value();
+    const auto dep = deployments_.find(request.site);
+    if (dep != deployments_.end()) deployment = dep->second;
+  }
 
   // The solve — the expensive part — runs outside the state lock; only
   // the commit below re-acquires it.  Per-site ordering is the caller's
@@ -374,35 +463,52 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
     warm_factor = std::make_shared<linalg::Matrix>(result.solver.l);
   }
 
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  // Lost-update guard: the solve ran against snap; if another commit for
-  // this site landed meanwhile (overlapping-site batches from two
-  // threads), silently committing on top would discard it.
-  if (store_.next_version(request.site) != snap->version() + 1) {
-    return Status::failed_precondition(
-        "update: site '" + request.site + "' advanced past version " +
-        std::to_string(snap->version()) +
-        " while this update was solving (concurrent same-site update)");
+  // Commit + publish.  The next bundle's localizer is built over the
+  // reconstruction OUTSIDE the lock; the loop re-builds in the rare case
+  // a concurrent attach_deployment swapped the geometry pointer while we
+  // were building (one extra build per attach, bounded by the recheck).
+  while (true) {
+    Result<std::shared_ptr<const loc::Localizer>> localizer =
+        build_localizer(result.solver.x_hat, deployment);
+    if (!localizer.ok()) return localizer.status();
+
+    const auto lock = state_lock();
+    // Lost-update guard: the solve ran against snap; if another commit for
+    // this site landed meanwhile (overlapping-site batches from two
+    // threads), silently committing on top would discard it.
+    if (store_.next_version(request.site) != snap->version() + 1) {
+      return Status::failed_precondition(
+          "update: site '" + request.site + "' advanced past version " +
+          std::to_string(snap->version()) +
+          " while this update was solving (concurrent same-site update)");
+    }
+    const auto dep = deployments_.find(request.site);
+    const sim::Deployment* current =
+        dep == deployments_.end() ? nullptr : dep->second;
+    if (current != deployment) {
+      deployment = current;
+      continue;  // rebuild the localizer with the new geometry
+    }
+    auto next = std::make_shared<FingerprintSnapshot>(
+        request.site, snap->version() + 1, result.solver.x_hat, snap->mask(),
+        snap->layout(), std::move(cells), std::move(z), request.day);
+    if (const Status put = store_.put(next); !put.ok()) return put;
+    if (const auto shard = shards_->emplace(request.site); shard != nullptr) {
+      // Published under the commit lock so versions can never publish out
+      // of order; a localize overlapping this store is entirely lock-free
+      // (it loads the atomic bundle pointer, not this mutex).
+      shard->publish(std::make_shared<const serve::PublishedSite>(
+          serve::PublishedSite{next, std::move(localizer).value()}));
+    }
+    result.committed_version = next->version();
+    result.snapshot = std::move(next);
+    break;
   }
-  auto next = std::make_shared<FingerprintSnapshot>(
-      request.site, snap->version() + 1, result.solver.x_hat, snap->mask(),
-      snap->layout(), std::move(cells), std::move(z), request.day);
-  if (const Status put = store_.put(next); !put.ok()) return put;
-  if (warm_start_enabled_) {
-    // The converged factor is the warm start for the next solve reading
-    // this snapshot; stored under the same lock as the commit so the
-    // version pairing can never be observed torn.
-    WarmStart& ws = warm_starts_[request.site];
-    ws.version = next->version();
-    ws.l0 = std::move(warm_factor);
-  }
-  if (lrr_state != nullptr) {
-    WarmStart& ws = warm_starts_[request.site];
-    ws.lrr_version = next->version();
-    ws.lrr = std::move(lrr_state);
-  }
-  result.committed_version = next->version();
-  result.snapshot = std::move(next);
+  // The converged factor is the warm start for the next solve reading the
+  // committed snapshot; version-paired in the shard cache (see
+  // cache_warm_state for why post-lock writes stay consistent).
+  cache_warm_state(request.site, result.committed_version,
+                   std::move(warm_factor), std::move(lrr_state));
   return result;
 }
 
@@ -459,70 +565,39 @@ std::vector<Result<UpdateResult>> Engine::update_batch(
   return results;
 }
 
-Result<std::shared_ptr<const loc::Localizer>> Engine::localizer_for(
-    const std::string& site) const {
-  SnapshotPtr snap;
-  const sim::Deployment* deployment = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(*state_mutex_);
-    Result<SnapshotPtr> latest = store_.latest(site);
-    if (!latest.ok()) return latest.status();
-    snap = latest.value();
-    const auto cached = localizers_.find(site);
-    if (cached != localizers_.end() &&
-        cached->second.version == snap->version()) {
-      return cached->second.localizer;
-    }
-    const auto dep = deployments_.find(site);
-    if (dep != deployments_.end()) deployment = dep->second;
+Result<serve::PublishedPtr> Engine::published(const std::string& site) const {
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) {
+    return Status::not_found("published: unknown site '" + site + "'");
   }
-
-  // Construction (dictionary build, SVR training for kRass) runs outside
-  // the lock; concurrent callers may build twice and the loser's copy is
-  // simply discarded below.
-  std::shared_ptr<const loc::Localizer> built;
-  try {
-    built = make_localizer(config_.localizer(), snap->database(), deployment,
-                           config_.threads());
-  } catch (const std::exception& e) {
-    return Status::internal(std::string("localizer construction: ") +
-                            e.what());
-  }
-  if (built == nullptr) {
-    return Status::failed_precondition(
-        "localize: this localizer needs deployment geometry; call "
-        "attach_deployment('" + site + "', ...) first");
-  }
-
-  std::lock_guard<std::mutex> lock(*state_mutex_);
-  CachedLocalizer& slot = localizers_[site];
-  if (slot.localizer != nullptr && slot.version == snap->version()) {
-    return slot.localizer;  // lost a same-version race; keep the winner
-  }
-  if (slot.localizer == nullptr || slot.version < snap->version()) {
-    slot.version = snap->version();
-    slot.localizer = std::move(built);
-    return slot.localizer;
-  }
-  // The cache moved past our snapshot while we were building: serve the
-  // stale build to this caller without evicting the newer entry.
-  return built;
+  return shard->published();
 }
 
 Result<loc::LocalizationEstimate> Engine::localize(
     const std::string& site, std::span<const double> measurement) const {
-  Result<SnapshotPtr> latest = snapshot(site);
-  if (!latest.ok()) return latest.status();
-  if (measurement.size() != latest.value()->database().rows()) {
+  // THE lock-free read path: registry map load + published-bundle load,
+  // then pure compute against immutable state.  The scope turns any state
+  // mutex acquired below into a counted contract violation.
+  serve::ReadPathScope read_scope;
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) {
+    return Status::not_found("localize: unknown site '" + site + "'");
+  }
+  const serve::PublishedPtr bundle = shard->published();
+  const std::size_t links = bundle->snapshot->database().rows();
+  if (measurement.size() != links) {
     return Status::invalid_argument(
         "localize: measurement has " + std::to_string(measurement.size()) +
-        " entries but site '" + site + "' has " +
-        std::to_string(latest.value()->database().rows()) + " links");
+        " entries but site '" + site + "' has " + std::to_string(links) +
+        " links");
   }
-  const auto localizer = localizer_for(site);
-  if (!localizer.ok()) return localizer.status();
+  if (bundle->localizer == nullptr) {
+    return Status::failed_precondition(
+        "localize: this localizer needs deployment geometry; call "
+        "attach_deployment('" + site + "', ...) first");
+  }
   try {
-    return localizer.value()->localize(measurement);
+    return bundle->localizer->localize(measurement);
   } catch (const std::exception& e) {
     return Status::internal(std::string("localize: ") + e.what());
   }
@@ -531,9 +606,15 @@ Result<loc::LocalizationEstimate> Engine::localize(
 Result<std::vector<loc::LocalizationEstimate>> Engine::localize_batch(
     const std::string& site,
     const std::vector<std::vector<double>>& measurements) const {
-  Result<SnapshotPtr> latest = snapshot(site);
-  if (!latest.ok()) return latest.status();
-  const std::size_t links = latest.value()->database().rows();
+  serve::ReadPathScope read_scope;
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) {
+    return Status::not_found("localize: unknown site '" + site + "'");
+  }
+  // ONE bundle for the whole batch: every measurement matches the same
+  // published version even if updates land mid-batch.
+  const serve::PublishedPtr bundle = shard->published();
+  const std::size_t links = bundle->snapshot->database().rows();
   for (std::size_t k = 0; k < measurements.size(); ++k) {
     if (measurements[k].size() != links) {
       return Status::invalid_argument(
@@ -542,12 +623,15 @@ Result<std::vector<loc::LocalizationEstimate>> Engine::localize_batch(
           site + "' has " + std::to_string(links) + " links");
     }
   }
-  const auto localizer = localizer_for(site);
-  if (!localizer.ok()) return localizer.status();
+  if (bundle->localizer == nullptr) {
+    return Status::failed_precondition(
+        "localize: this localizer needs deployment geometry; call "
+        "attach_deployment('" + site + "', ...) first");
+  }
   const std::size_t threads = parallel::resolve_threads(config_.threads());
   try {
     if (threads <= 1 || measurements.size() <= 1) {
-      return localizer.value()->localize_batch(measurements);
+      return bundle->localizer->localize_batch(measurements);
     }
     // Fan out: measurements are independent and each index owns its
     // output slot, so the result is identical to the sequential loop.
@@ -558,7 +642,7 @@ Result<std::vector<loc::LocalizationEstimate>> Engine::localize_batch(
         threads, measurements.size(),
         [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
           for (std::size_t k = begin; k < end; ++k) {
-            estimates[k] = localizer.value()->localize(measurements[k]);
+            estimates[k] = bundle->localizer->localize(measurements[k]);
           }
         });
     return estimates;

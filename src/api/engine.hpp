@@ -8,18 +8,32 @@
 // the latest database.  Every entry point validates its inputs and returns
 // Status / Result<T>; exceptions never cross this boundary.
 //
+// Serving architecture (src/serve/): each site is backed by a SiteShard
+// whose published {snapshot, localizer} bundle is swapped RCU-style by the
+// write paths, so localize()/localize_batch() run WITHOUT ANY LOCK in
+// steady state — they resolve the shard through the registry's lock-free
+// map, load one published pointer (serve::RcuSlot) and compute against
+// the immutable bundle.  A localize overlapping an update observes either
+// the old or the new version in full, and its result is bit-identical to a
+// serial localize against whichever version it observed (the bundle pins
+// database and localizer together).  The zero-locks contract is machine-
+// checked: the read paths run inside serve::ReadPathScope and every state
+// mutex routes through serve::note_state_lock_acquired().  Concurrent
+// single-measurement callers can additionally be coalesced into batch
+// panels by serve::ServeFront.
+//
 // Batched entry points (update_batch / localize_batch) amortize per-site
 // state: snapshots and correlation matrices are reused from the store, the
-// localizer (whose construction builds the matching dictionary) is cached
-// per site version, and each commit caches its converged solver factor as
-// a versioned warm start for the next solve of the same snapshot
-// (EngineConfig::warm_start, on by default), skipping the per-update
-// initialisation SVD.  With EngineConfig::threads(n) > 1 they fan out
-// over iup::parallel: update_batch parallelises across *sites* (same-site
-// requests stay strictly ordered, so batches remain exactly equivalent to
-// sequential update() calls) and localize_batch across measurements.
-// Store and localizer-cache access is mutex-guarded; solver work runs
-// outside the lock.
+// localizer (whose construction builds the matching dictionary) lives in
+// the published bundle, and each commit caches its converged solver factor
+// in the site's shard as a versioned warm start for the next solve of the
+// same snapshot (EngineConfig::warm_start, on by default), skipping the
+// per-update initialisation SVD.  With EngineConfig::threads(n) > 1 they
+// fan out over iup::parallel: update_batch parallelises across *sites*
+// (same-site requests stay strictly ordered, so batches remain exactly
+// equivalent to sequential update() calls) and localize_batch across
+// measurements.  Solver and localizer-construction work always runs
+// outside the commit lock.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +50,8 @@
 #include "api/status.hpp"
 #include "core/updater.hpp"
 #include "loc/localizer.hpp"
+#include "serve/registry.hpp"
+#include "serve/shard.hpp"
 
 namespace iup::api {
 
@@ -77,8 +93,8 @@ class Engine {
 
   // --- site lifecycle --------------------------------------------------
   /// Register a deployment from its initial site survey: selects the MIC
-  /// reference locations, acquires the correlation matrix Z and commits
-  /// snapshot version 1.
+  /// reference locations, acquires the correlation matrix Z, commits
+  /// snapshot version 1 and publishes the site's first serving bundle.
   Result<SnapshotPtr> register_site(std::string site,
                                     linalg::Matrix x_original,
                                     linalg::Matrix b_mask);
@@ -86,7 +102,8 @@ class Engine {
 
   /// Attach deployment geometry (cell centres) to a registered site; the
   /// pointer must outlive the engine.  Required for kKnn centroid
-  /// averaging and for kRass.
+  /// averaging and for kRass.  Republishes the serving bundle with a
+  /// geometry-aware localizer.
   Status attach_deployment(const std::string& site,
                            const sim::Deployment* deployment);
 
@@ -117,10 +134,12 @@ class Engine {
       const std::vector<UpdateRequest>& requests);
 
   // --- localization ----------------------------------------------------
+  /// Lock-free: resolves the site's published {snapshot, localizer}
+  /// bundle and matches against it (see the serving-architecture note).
   Result<loc::LocalizationEstimate> localize(
       const std::string& site, std::span<const double> measurement) const;
-  /// Localize many online measurements against one site; the localizer
-  /// (and its matching dictionary) is built once per site version.
+  /// Localize many online measurements against one site; all of them
+  /// match the SAME published bundle (one version, even mid-update).
   Result<std::vector<loc::LocalizationEstimate>> localize_batch(
       const std::string& site,
       const std::vector<std::vector<double>>& measurements) const;
@@ -128,6 +147,16 @@ class Engine {
   const SnapshotStore& store() const { return store_; }
   const EngineConfig& config() const { return config_; }
   const SolverBackend& solver() const { return *backend_; }
+
+  /// The serve-layer registry backing this engine's sites.  ServeFront
+  /// and the soak/bench harnesses build on it; shards resolved from it
+  /// stay valid across drop_site.
+  const serve::ShardRegistry& shards() const { return *shards_; }
+
+  /// The site's current published serving bundle (lock-free).  Holding
+  /// the pointer pins that exact {snapshot, localizer} version across
+  /// any number of concurrent updates or evictions.
+  Result<serve::PublishedPtr> published(const std::string& site) const;
 
   /// Snapshot version the site's cached warm-start factor was derived
   /// from, or nullopt when the cache is empty (warm_start(false), never
@@ -145,7 +174,7 @@ class Engine {
 
  private:
   /// Validate `request` against `snapshot` and run the solver, seeding it
-  /// from the warm-start cache when the cached version matches.
+  /// from the shard's warm-start cache when the cached version matches.
   Result<UpdateResult> solve_request(const FingerprintSnapshot& snapshot,
                                      const UpdateRequest& request) const;
 
@@ -161,16 +190,31 @@ class Engine {
       const core::LrrWarmStart* warm) const;
 
   /// Cached LRR state for solves reading snapshot `version` of `site`
-  /// (nullptr on version mismatch / empty cache), and the store side.
-  /// Both only touch state_mutex_ long enough to exchange the pointer.
+  /// (nullptr on version mismatch / empty cache) from the site's shard.
   std::shared_ptr<const core::LrrWarmStart> lrr_warm_for(
       const std::string& site, std::uint64_t version) const;
   static std::shared_ptr<const core::LrrWarmStart> lrr_state_of(
       const linalg::Matrix& z, core::LrrResult&& result);
-  /// Shared ownership so an in-flight localize keeps its localizer alive
-  /// even when a concurrent update/drop replaces the cache entry.
-  Result<std::shared_ptr<const loc::Localizer>> localizer_for(
-      const std::string& site) const;
+
+  /// Build the configured localizer over `database` as a bundle-ready
+  /// shared_ptr (null when the kind needs missing deployment geometry).
+  /// Wraps construction exceptions into Status.
+  Result<std::shared_ptr<const loc::Localizer>> build_localizer(
+      const linalg::Matrix& database, const sim::Deployment* deployment) const;
+
+  /// Acquire the commit lock, asserting the caller is not on the serve
+  /// read path (the zero-locks contract; see serve/shard.hpp).
+  std::unique_lock<std::mutex> state_lock() const {
+    serve::note_state_lock_acquired();
+    return std::unique_lock<std::mutex>(*state_mutex_);
+  }
+
+  /// Store the post-commit warm-start caches in the site's shard (its own
+  /// lock; never held together with the commit lock).  Null pointers skip
+  /// their slot.
+  void cache_warm_state(const std::string& site, std::uint64_t version,
+                        std::shared_ptr<const linalg::Matrix> factor,
+                        std::shared_ptr<const core::LrrWarmStart> lrr) const;
 
   EngineConfig config_;
   /// config_.lrr() with the effective thread budget applied; every
@@ -183,41 +227,20 @@ class Engine {
   /// config_.lrr_warm_start(): cache + resume the ADMM state of the
   /// correlation refreshes.
   bool lrr_warm_enabled_ = false;
-  /// Guards store_, deployments_ and localizers_ during batched fan-outs.
-  /// Solver and localization work always runs outside this lock.  Held by
+  /// The COMMIT lock: guards store_ and deployments_ (and serialises
+  /// publication order — bundles are published while it is held, so a
+  /// site's published version can never move backwards).  Solver,
+  /// correlation and localizer-construction work always runs outside it,
+  /// and the localization read paths never touch it at all.  Held by
   /// unique_ptr so Engine stays movable (moving an Engine while a batch is
   /// in flight is a caller bug, as with any container).
   std::unique_ptr<std::mutex> state_mutex_ = std::make_unique<std::mutex>();
   SnapshotStore store_;
   std::unordered_map<std::string, const sim::Deployment*> deployments_;
-
-  struct CachedLocalizer {
-    std::uint64_t version = 0;
-    std::shared_ptr<const loc::Localizer> localizer;
-  };
-  mutable std::unordered_map<std::string, CachedLocalizer> localizers_;
-
-  /// Versioned warm-start factors: l0 is the converged L of the solve that
-  /// committed `version`, a good initial iterate for the next solve based
-  /// on that exact snapshot (the database drifts slowly between updates —
-  /// the paper's premise).  Guarded by state_mutex_; entries whose version
-  /// no longer matches the snapshot being solved are ignored, so a
-  /// set_reference_cells (or any commit that bypasses the solver)
-  /// invalidates the cache by construction.
-  struct WarmStart {
-    std::uint64_t version = 0;
-    /// Shared so readers/writers exchange a pointer under state_mutex_ and
-    /// copy the matrix outside the lock.
-    std::shared_ptr<const linalg::Matrix> l0;
-    /// LRR ADMM state (Z + multipliers + penalty) of the refresh that
-    /// produced lrr_version's correlation — the warm start for the next
-    /// refresh of that exact snapshot.  Versioned separately from the
-    /// factor: registration and set_reference_cells seed it without a
-    /// solver run.
-    std::uint64_t lrr_version = 0;
-    std::shared_ptr<const core::LrrWarmStart> lrr;
-  };
-  mutable std::unordered_map<std::string, WarmStart> warm_starts_;
+  /// Per-site serving shards: published bundles + warm-start caches.
+  /// unique_ptr (registry is non-movable) so Engine stays movable.
+  std::unique_ptr<serve::ShardRegistry> shards_ =
+      std::make_unique<serve::ShardRegistry>();
 };
 
 }  // namespace iup::api

@@ -28,12 +28,12 @@ Status SnapshotStore::put(SnapshotPtr snapshot) {
   }
   SiteHistory& history = sites_[site];
   history.versions.push_back(std::move(snapshot));
-  if (history_limit_ > 0 && history.versions.size() > history_limit_) {
-    const std::size_t drop = history.versions.size() - history_limit_;
-    history.versions.erase(history.versions.begin(),
-                           history.versions.begin() +
-                               static_cast<std::ptrdiff_t>(drop));
-    history.first_version += drop;
+  // Eviction drops only the store's reference: any reader (or published
+  // serve bundle) still holding the SnapshotPtr keeps the snapshot alive
+  // and immutable — see the class comment.
+  while (history_limit_ > 0 && history.versions.size() > history_limit_) {
+    history.versions.pop_front();
+    ++history.first_version;
   }
   return Status();
 }

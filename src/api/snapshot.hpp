@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -71,6 +72,17 @@ class FingerprintSnapshot {
 using SnapshotPtr = std::shared_ptr<const FingerprintSnapshot>;
 
 /// Versioned snapshot history for any number of sites.
+///
+/// Eviction vs concurrent readers: the store hands out SnapshotPtr
+/// (shared_ptr) copies, never references into its containers, so a reader
+/// holding a pointer to a version that the history limit has since evicted
+/// keeps a fully valid, immutable snapshot for as long as it holds the
+/// pointer — eviction only drops the STORE's reference.  This is the
+/// contract the serve layer's RCU publication relies on (a published
+/// bundle may outlive its store entry arbitrarily), and it is
+/// machine-checked by the evict-while-read regression tests in
+/// tests/serve_test.cpp.  Structural mutation of the store itself is not
+/// internally synchronised; Engine guards it with its state mutex.
 class SnapshotStore {
  public:
   /// Cap on retained versions per site (oldest evicted first); 0 keeps the
@@ -105,7 +117,10 @@ class SnapshotStore {
  private:
   struct SiteHistory {
     std::uint64_t first_version = 1;   ///< version of versions.front()
-    std::vector<SnapshotPtr> versions;
+    /// Deque, not vector: the history-limit eviction pops from the front
+    /// on every put once the site is at its limit — O(1) instead of
+    /// shifting the whole retained window each commit.
+    std::deque<SnapshotPtr> versions;
   };
 
   std::unordered_map<std::string, SiteHistory> sites_;

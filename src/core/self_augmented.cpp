@@ -455,6 +455,35 @@ void SelfAugmentedRsvd::update_r(const RsvdProblem& problem, const Weights& w,
     symmetrize_lower(q);
   };
 
+  // Constraint-2 Gauss-Seidel cross terms of column j, appended AFTER the
+  // data / Constraint-1 axpys by both RHS builders below (the fused panel
+  // builder and the per-column one), so the per-column accumulation order
+  // can never differ between them.
+  const auto append_rhs_c2 = [&](std::size_t j) {
+    const auto c = ctx.r_next.row_span(j);
+    const std::size_t ii = layout_.band_of(j);
+    const std::size_t jj = layout_.slot_of(j);
+    const auto l_band = l.row_span(ii);
+    if (w.w2 > 0.0) {
+      // Cross term with the neighbouring slots of the current
+      // estimate: sum_q (XD*G)(ii,q) G(jj,q) with the self
+      // contribution removed.
+      double cross = 0.0;
+      for (std::size_t qq = 0; qq < layout_.slots; ++qq) {
+        const double others =
+            ctx.xdg(ii, qq) - ctx.xd_cur(ii, jj) * g_(jj, qq);
+        cross += others * g_(jj, qq);
+      }
+      linalg::axpy(-w.w2 * cross, l_band, c);
+    }
+    if (w.w3 > 0.0) {
+      double neighbor_sum = 0.0;
+      if (ii > 0) neighbor_sum += ctx.xd_cur(ii - 1, jj);
+      if (ii + 1 < layout_.links) neighbor_sum += ctx.xd_cur(ii + 1, jj);
+      linalg::axpy(w.w3 * neighbor_sum, l_band, c);
+    }
+  };
+
   // Right-hand side of column j, built directly in the output row so the
   // in-place solve lands the solution there without a copy.
   const auto build_rhs = [&](std::size_t j) {
@@ -468,28 +497,38 @@ void SelfAugmentedRsvd::update_r(const RsvdProblem& problem, const Weights& w,
         linalg::axpy(w.w1 * problem.p(i, j), l.row_span(i), c);
       }
     }
-    if (c2 && gauss_seidel) {
-      const std::size_t ii = layout_.band_of(j);
-      const std::size_t jj = layout_.slot_of(j);
-      const auto l_band = l.row_span(ii);
-      if (w.w2 > 0.0) {
-        // Cross term with the neighbouring slots of the current
-        // estimate: sum_q (XD*G)(ii,q) G(jj,q) with the self
-        // contribution removed.
-        double cross = 0.0;
-        for (std::size_t qq = 0; qq < layout_.slots; ++qq) {
-          const double others =
-              ctx.xdg(ii, qq) - ctx.xd_cur(ii, jj) * g_(jj, qq);
-          cross += others * g_(jj, qq);
+    if (c2 && gauss_seidel) append_rhs_c2(j);
+  };
+
+  // Fused RHS construction of one mask group (ROADMAP 4a): the group
+  // signature fixes the unobserved row set, hence its complement — every
+  // member walks the SAME observed index list.  Walk it once, loading each
+  // L row once per group instead of once per member, and feed all member
+  // columns from it.  Per member the accumulation order is unchanged
+  // (data axpys in ascending i, then the Constraint-1 axpys in ascending
+  // i, then the Constraint-2 cross terms), so every member's RHS is
+  // bit-identical to build_rhs above.
+  const auto build_rhs_group = [&](const MaskGroup& grp) {
+    for (const std::size_t j : grp.members) {
+      const auto c = ctx.r_next.row_span(j);
+      std::fill(c.begin(), c.end(), 0.0);
+    }
+    for (const std::size_t i : ctx.obs_rows[grp.members.front()]) {
+      const auto li = l.row_span(i);
+      for (const std::size_t j : grp.members) {
+        linalg::axpy(problem.x_b(i, j), li, ctx.r_next.row_span(j));
+      }
+    }
+    if (w.w1 > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto li = l.row_span(i);
+        for (const std::size_t j : grp.members) {
+          linalg::axpy(w.w1 * problem.p(i, j), li, ctx.r_next.row_span(j));
         }
-        linalg::axpy(-w.w2 * cross, l_band, c);
       }
-      if (w.w3 > 0.0) {
-        double neighbor_sum = 0.0;
-        if (ii > 0) neighbor_sum += ctx.xd_cur(ii - 1, jj);
-        if (ii + 1 < layout_.links) neighbor_sum += ctx.xd_cur(ii + 1, jj);
-        linalg::axpy(w.w3 * neighbor_sum, l_band, c);
-      }
+    }
+    if (c2 && gauss_seidel) {
+      for (const std::size_t j : grp.members) append_rhs_c2(j);
     }
   };
 
@@ -519,7 +558,7 @@ void SelfAugmentedRsvd::update_r(const RsvdProblem& problem, const Weights& w,
         ThreadWorkspace& ws = ctx.ws[slot];
         ws.q.resize(rr, rr);
         ws.diag.resize(rr);
-        for (const std::size_t j : grp.members) build_rhs(j);
+        build_rhs_group(grp);
         solve_mask_group(grp, ws, ctx.r_next, build_q);
       });
 }
@@ -580,6 +619,32 @@ void SelfAugmentedRsvd::update_l(const RsvdProblem& problem, const Weights& w,
     }
   };
 
+  // Fused RHS construction of one row group, mirroring the R-update's
+  // build_rhs_group: all member rows share the observed column set, so one
+  // walk over it (and over the Constraint-1 columns) feeds every member,
+  // loading each R row once per group.  Per-member accumulation order is
+  // identical to build_rhs_base, so the fused panel is bit-identical.
+  const auto build_rhs_group = [&](const MaskGroup& grp) {
+    for (const std::size_t i : grp.members) {
+      const auto c = ctx.l_next.row_span(i);
+      std::fill(c.begin(), c.end(), 0.0);
+    }
+    for (const std::size_t j : ctx.obs_cols[grp.members.front()]) {
+      const auto rj = r.row_span(j);
+      for (const std::size_t i : grp.members) {
+        linalg::axpy(problem.x_b(i, j), rj, ctx.l_next.row_span(i));
+      }
+    }
+    if (w.w1 > 0.0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto rj = r.row_span(j);
+        for (const std::size_t i : grp.members) {
+          linalg::axpy(w.w1 * problem.p(i, j), rj, ctx.l_next.row_span(i));
+        }
+      }
+    }
+  };
+
   if (!ctx.row_groups.empty()) {
     // Mask-grouped L-update.  Only reached when Constraint 2 is inactive
     // (solve() builds row_groups for mask-only Q), so Q is exactly
@@ -596,7 +661,7 @@ void SelfAugmentedRsvd::update_l(const RsvdProblem& problem, const Weights& w,
           ThreadWorkspace& ws = ctx.ws[slot];
           ws.q.resize(rr, rr);
           ws.diag.resize(rr);
-          for (const std::size_t i : grp.members) build_rhs_base(i);
+          build_rhs_group(grp);
           solve_mask_group(grp, ws, ctx.l_next, build_q);
         });
     return;

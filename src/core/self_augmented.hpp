@@ -36,7 +36,12 @@
 // inputs, same op sequence), so the sweep groups them once per solve,
 // factors each group's Q once, and solves the group's right-hand sides as
 // one multi-RHS panel (linalg::solve_factored_spd_multi), whose per-column
-// results are bit-identical to the historical one-column loop.  The same
+// results are bit-identical to the historical one-column loop.  The RHS
+// panel is built fused as well: a group's members share the observed index
+// set (complement of the signature's unobserved set), so one walk over it
+// feeds every member column — each L/R row is loaded once per group
+// instead of once per member, with per-member accumulation order (and
+// therefore every bit) unchanged.  The same
 // holds for L-update rows when Constraint 2 is inactive (with c2 active,
 // the per-row Theta curvature makes every row's Q unique).  Guarantees:
 // grouped and ungrouped sweeps are exactly equal, at every thread count

@@ -30,6 +30,13 @@
 //     calling thread.  Either way: same chunks, same slots, same results,
 //     no deadlock (every nested caller drains its own still-queued chunks
 //     before blocking, and nesting bottoms out at the depth cap).
+//
+// Consumers beyond the solver: the serving layer (src/serve/) fans its
+// batched localize panels out through the same parallel_for — the
+// "bodies only write state they exclusively own" rule is what lets a
+// ServeFront leader compute a whole batch against immutable published
+// bundles with no extra synchronization, and the deterministic chunking
+// is why batching changes scheduling but never bits.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,155 @@
+#include "serve/front.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace iup::serve {
+
+ServeFront::ServeFront(const ShardRegistry& registry,
+                       ServeFrontOptions options)
+    : registry_(registry), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+std::uint64_t ServeFront::total_requests() const {
+  return total_requests_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ServeFront::total_batches() const {
+  return total_batches_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ServeFront::largest_batch() const {
+  return largest_batch_.load(std::memory_order_relaxed);
+}
+
+api::Result<loc::LocalizationEstimate> ServeFront::localize(
+    const std::string& site, std::span<const double> measurement) {
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  Op op(site, measurement);
+
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  pending_.push_back(&op);
+  if (leader_active_) {
+    // A leader is already collecting; wake it in case this op fills its
+    // batch, then wait as a follower.  Three exits: our result is ready
+    // (done), our op was claimed into a batch still computing (keep
+    // waiting for done), or the leader left without claiming us (it hit
+    // max_batch first) — then lead the next batch ourselves, our op still
+    // sitting in pending_.
+    cv_.notify_all();
+    while (true) {
+      cv_.wait(lock, [&] { return op.done || !leader_active_; });
+      if (op.done) return std::move(op.result);
+      if (!op.claimed) break;  // unclaimed and leaderless: take over
+      cv_.wait(lock, [&] { return op.done; });
+      return std::move(op.result);
+    }
+  }
+
+  leader_active_ = true;
+  const auto deadline = std::chrono::steady_clock::now() + options_.max_wait;
+  cv_.wait_until(lock, deadline,
+                 [&] { return pending_.size() >= options_.max_batch; });
+  std::vector<Op*> batch;
+  batch.swap(pending_);
+  for (Op* claimed : batch) claimed->claimed = true;
+  leader_active_ = false;
+  // Wake parked followers NOT in this batch so one of them leads the next
+  // one while we compute (formation pipelines with compute).
+  cv_.notify_all();
+  lock.unlock();
+
+  total_batches_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = largest_batch_.load(std::memory_order_relaxed);
+  while (seen < batch.size() && !largest_batch_.compare_exchange_weak(
+                                    seen, batch.size(),
+                                    std::memory_order_relaxed)) {
+  }
+
+  run_batch(batch);
+
+  lock.lock();
+  for (Op* done : batch) done->done = true;
+  cv_.notify_all();
+  // Our own op is complete (we computed it); followers wake on the flags.
+  return std::move(op.result);
+}
+
+void ServeFront::run_batch(const std::vector<Op*>& batch) {
+  // Group by site in first-appearance order: deterministic routing, one
+  // shard resolution + one published-bundle load per group.
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const auto [it, fresh] =
+        group_of.try_emplace(*batch[k]->site, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(k);
+  }
+
+  ReadPathScope read_scope;
+  const std::size_t threads = parallel::resolve_threads(options_.threads);
+  for (const std::vector<std::size_t>& group : groups) {
+    const std::string& site = *batch[group.front()]->site;
+    const ShardRegistry::ShardPtr shard = registry_.find(site);
+    if (shard == nullptr) {
+      for (const std::size_t k : group) {
+        batch[k]->result =
+            api::Status::not_found("localize: unknown site '" + site + "'");
+      }
+      continue;
+    }
+    // ONE bundle for the whole group: every member matches against the
+    // same published version even if an update lands mid-batch.
+    const PublishedPtr bundle = shard->published();
+    const std::size_t links = bundle->snapshot->database().rows();
+    if (bundle->localizer == nullptr) {
+      for (const std::size_t k : group) {
+        batch[k]->result = api::Status::failed_precondition(
+            "localize: this localizer needs deployment geometry; call "
+            "attach_deployment('" + site + "', ...) first");
+      }
+      continue;
+    }
+
+    const auto compute = [&](std::size_t k) {
+      Op& op = *batch[k];
+      if (op.measurement.size() != links) {
+        op.result = api::Status::invalid_argument(
+            "localize: measurement has " +
+            std::to_string(op.measurement.size()) + " entries but site '" +
+            site + "' has " + std::to_string(links) + " links");
+        return;
+      }
+      op.result = bundle->localizer->localize(op.measurement);
+    };
+    try {
+      if (threads <= 1 || group.size() <= 1) {
+        for (const std::size_t k : group) compute(k);
+      } else {
+        // Each op owns its slot; the fan-out is bit-identical to the loop.
+        parallel::parallel_for(
+            threads, group.size(),
+            [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
+              for (std::size_t g = begin; g < end; ++g) compute(group[g]);
+            });
+      }
+    } catch (const std::exception& e) {
+      for (const std::size_t k : group) {
+        if (batch[k]->result.ok() ||
+            batch[k]->result.status().message() ==
+                "ServeFront: not computed") {
+          batch[k]->result =
+              api::Status::internal(std::string("localize: ") + e.what());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace iup::serve

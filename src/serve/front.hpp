@@ -1,0 +1,111 @@
+// ServeFront — a leader/combiner batching front over the shard layer.
+//
+// High-QPS serving arrives as many concurrent SINGLE-measurement localize
+// calls, but the localizers amortise per-call setup best over batches.
+// ServeFront coalesces: a caller enqueues its measurement and either
+// becomes the LEADER — waits up to max_wait for up to max_batch ops to
+// accumulate, then computes the whole panel — or a FOLLOWER, blocking
+// until the leader fills in its slot.  The next arrival after a leader
+// claims its batch starts forming the next one, so batch formation
+// pipelines with batch compute.
+//
+// Routing is deterministic: a batch's ops are grouped by site in first-
+// appearance order, each group resolves its shard ONCE and computes every
+// member against that single published bundle (one atomic load per group,
+// not per op), fanning out over iup::parallel.  Since each op is an
+// independent match against an immutable bundle, every result is exactly
+// the estimate a direct Engine::localize against the same published
+// version returns — batching changes scheduling, never bits
+// (tests/serve_test.cpp proves order-independence).
+//
+// Locking: the front's queue mutex exists to COALESCE, not to guard
+// engine state — it is deliberately outside the zero-locks contract,
+// which covers the state mutexes (Engine commit lock, shard update
+// locks).  The compute itself runs on the lock-free shard read path
+// inside a ReadPathScope, with the queue mutex released.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "loc/localizer.hpp"
+#include "serve/registry.hpp"
+
+namespace iup::serve {
+
+struct ServeFrontOptions {
+  /// A leader closes its batch at this many ops even before the wait runs
+  /// out.  1 degenerates to direct per-call dispatch (no coalescing).
+  std::size_t max_batch = 32;
+  /// How long a leader holds its batch open for followers.  The bound on
+  /// added p50 latency under low concurrency; at saturation batches fill
+  /// before the deadline and the wait never applies.
+  std::chrono::microseconds max_wait{200};
+  /// Thread budget for the per-group panel fan-out (0 = all hardware
+  /// threads).  Results are bit-identical for any value.
+  std::size_t threads = 1;
+};
+
+class ServeFront {
+ public:
+  /// `registry` must outlive the front (the Engine owning it does).
+  explicit ServeFront(const ShardRegistry& registry,
+                      ServeFrontOptions options = {});
+
+  ServeFront(const ServeFront&) = delete;
+  ServeFront& operator=(const ServeFront&) = delete;
+
+  /// Localize one measurement against `site`'s published version, batched
+  /// with whatever concurrent calls land in the same window.  Blocks the
+  /// caller until its result is ready (a leader computes, a follower
+  /// waits).  Same Status surface as Engine::localize.
+  api::Result<loc::LocalizationEstimate> localize(
+      const std::string& site, std::span<const double> measurement);
+
+  const ServeFrontOptions& options() const { return options_; }
+
+  // Coalescing observability (relaxed counters; exact once callers join).
+  std::uint64_t total_requests() const;
+  std::uint64_t total_batches() const;
+  std::uint64_t largest_batch() const;
+
+ private:
+  /// One enqueued call; lives on its caller's stack for the whole wait, so
+  /// the measurement span stays valid until the leader fills `result`.
+  struct Op {
+    const std::string* site;
+    std::span<const double> measurement;
+    api::Result<loc::LocalizationEstimate> result;
+    bool claimed = false;  ///< a leader took this op into its batch
+    bool done = false;     ///< the result slot is filled
+    Op(const std::string& s, std::span<const double> m)
+        : site(&s),
+          measurement(m),
+          result(api::Status::internal("ServeFront: not computed")) {}
+  };
+
+  /// Compute every op of one claimed batch (queue mutex NOT held).
+  void run_batch(const std::vector<Op*>& batch);
+
+  const ShardRegistry& registry_;
+  ServeFrontOptions options_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable cv_;
+  std::vector<Op*> pending_;
+  bool leader_active_ = false;
+
+  std::atomic<std::uint64_t> total_requests_{0};
+  std::atomic<std::uint64_t> total_batches_{0};
+  std::atomic<std::uint64_t> largest_batch_{0};
+};
+
+}  // namespace iup::serve

@@ -229,6 +229,55 @@ TEST(MaskGroupedSweep, PaperLiteralModeGroupedMatchesUngrouped) {
   EXPECT_EQ(grouped.objective_history, plain.objective_history);
 }
 
+TEST(MaskGroupedSweep, FusedRhsSharedWalkExtremes) {
+  // The fused RHS builder walks the group's shared observed-index list
+  // once for all members.  Exercise its extremes against the ungrouped
+  // per-column walk: a fully-observed mask (one group spanning every
+  // column, empty unobserved list) and a near-empty mask (tiny shared
+  // observed list), both with Constraint 1 driving the dense fused walk
+  // and with it disabled.
+  rng::Rng rng(309);
+  const core::BandLayout layout{8, 12};
+  const std::size_t m = layout.links;
+  const std::size_t n = layout.num_cells();
+  const linalg::Matrix x_full = test::random_low_rank(m, n, 3, rng);
+
+  for (const double observed_fraction : {1.0, 0.2}) {
+    for (const bool with_c1 : {true, false}) {
+      core::RsvdProblem problem;
+      problem.b = linalg::Matrix(m, n, 1.0);
+      if (observed_fraction < 1.0) {
+        // Shared sparse pattern: the same few rows observed in every
+        // column, so ALL columns land in one group with a long unobserved
+        // list and a short shared walk.
+        for (std::size_t i = 0; i < m; ++i) {
+          if (static_cast<double>(i) >= observed_fraction * m) {
+            for (std::size_t j = 0; j < n; ++j) problem.b(i, j) = 0.0;
+          }
+        }
+      }
+      problem.x_b = problem.b.hadamard(x_full);
+      if (with_c1) {
+        problem.p = x_full;
+        for (double& v : problem.p.data()) v += rng.normal(0.0, 0.01);
+      }
+
+      const core::RsvdResult plain =
+          solve_grouped(problem, layout, false, 1, /*constraint2=*/false);
+      const core::RsvdResult grouped =
+          solve_grouped(problem, layout, true, 3, /*constraint2=*/false);
+      ASSERT_GT(grouped.mask_groups, 0u)
+          << "obs=" << observed_fraction << " c1=" << with_c1;
+      EXPECT_EQ(grouped.grouped_columns, n);  // one signature, all columns
+      EXPECT_EQ(grouped.l, plain.l)
+          << "obs=" << observed_fraction << " c1=" << with_c1;
+      EXPECT_EQ(grouped.r, plain.r);
+      EXPECT_EQ(grouped.x_hat, plain.x_hat);
+      EXPECT_EQ(grouped.objective_history, plain.objective_history);
+    }
+  }
+}
+
 TEST(MaskGroupedSweep, OfficeTestbedReconstructionIsGroupedAndIdentical) {
   // The real pipeline: the office testbed's physically-structured mask
   // concentrates the grid columns on a handful of signatures; the grouped

@@ -1,0 +1,330 @@
+// The serving layer: RCU bundle publication, the zero-locks read-path
+// contract, evict-while-read safety and the ServeFront batching front.
+//
+// The concurrency tests here are the machine check behind the claims in
+// serve/shard.hpp: they run N reader threads against M background updates
+// and require (a) zero state-mutex acquisitions inside ReadPathScope, and
+// (b) every concurrent localize result to BIT-MATCH a serial localize
+// against the exact published version the reader observed.  They are part
+// of the TSan CI suite (scripts/ci.sh IUP_SANITIZE=thread).
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.hpp"
+#include "eval/experiment.hpp"
+#include "serve/front.hpp"
+#include "serve/shard.hpp"
+#include "sim/sampler.hpp"
+#include "test_util.hpp"
+
+namespace iup::api {
+namespace {
+
+Engine office_engine(const eval::EnvironmentRun& run,
+                     EngineConfig config = {}) {
+  Engine engine(std::move(config));
+  const auto registered = eval::register_run(engine, run, "office");
+  EXPECT_TRUE(registered.ok()) << registered.status().to_string();
+  return engine;
+}
+
+std::vector<std::vector<double>> office_queries(
+    const eval::EnvironmentRun& run, std::size_t count,
+    const std::string& tag) {
+  sim::Sampler sampler(run.testbed, tag);
+  std::vector<std::vector<double>> queries;
+  queries.reserve(count);
+  const std::size_t cells = run.testbed.num_cells();
+  for (std::size_t k = 0; k < count; ++k) {
+    queries.push_back(
+        sampler.online_measurement((k * 7) % cells, (k % 2) * 15, 3));
+  }
+  return queries;
+}
+
+/// The serial reference: a fresh localizer over exactly `database`,
+/// built the way every published bundle builds its own.
+loc::LocalizationEstimate serial_localize(const linalg::Matrix& database,
+                                          std::span<const double> query) {
+  const auto localizer = make_localizer(LocalizerKind::kOmp, database);
+  return localizer->localize(query);
+}
+
+TEST(ServePublication, BundleTracksCommitsAndPinsVersions) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+
+  const auto v1 = engine.published("office");
+  ASSERT_TRUE(v1.ok()) << v1.status().to_string();
+  EXPECT_EQ(v1.value()->snapshot->version(), 1u);
+  ASSERT_NE(v1.value()->localizer, nullptr);
+  EXPECT_EQ(engine.published("nope").status().code(), StatusCode::kNotFound);
+
+  const auto cells = engine.reference_cells("office").value();
+  const auto r15 =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  ASSERT_TRUE(r15.ok()) << r15.status().to_string();
+
+  // The commit republished; the pinned bundle still serves version 1.
+  const auto v2 = engine.published("office");
+  EXPECT_EQ(v2.value()->snapshot->version(), 2u);
+  EXPECT_EQ(v1.value()->snapshot->version(), 1u);
+  EXPECT_TRUE(v1.value()->snapshot->database() == run.ground_truth.at_day(0));
+
+  // set_reference_cells republishes the same localizer under the new
+  // version (the database did not change).
+  ASSERT_TRUE(engine
+                  .set_reference_cells("office",
+                                       {0, 8, 16, 24, 32, 40, 48, 56})
+                  .ok());
+  const auto v3 = engine.published("office");
+  EXPECT_EQ(v3.value()->snapshot->version(), 3u);
+  EXPECT_EQ(v3.value()->localizer, v2.value()->localizer);
+
+  ASSERT_TRUE(engine.drop_site("office").ok());
+  EXPECT_EQ(engine.published("office").status().code(), StatusCode::kNotFound);
+  // The dropped site's pinned bundle keeps serving.
+  const auto query = office_queries(run, 1, "serve-pin").front();
+  const auto est = v1.value()->localizer->localize(query);
+  const auto expected = serial_localize(run.ground_truth.at_day(0), query);
+  EXPECT_EQ(est.cell, expected.cell);
+  EXPECT_EQ(est.score, expected.score);
+}
+
+// Satellite regression for the history-limit eviction: a bundle pinned
+// before the store evicted its version keeps serving bit-identical
+// results (the store only ever drops ITS reference — snapshot.hpp).
+TEST(ServePublication, EvictedVersionKeepsServingPinnedReaders) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run, EngineConfig().history_limit(2));
+  const auto pinned = engine.published("office").value();
+  const linalg::Matrix database_at_pin = pinned->snapshot->database();
+
+  const auto cells = engine.reference_cells("office").value();
+  for (std::size_t day : {std::size_t{5}, std::size_t{15}, std::size_t{45}}) {
+    const auto res =
+        engine.update(eval::collect_update_request(run, "office", cells, day));
+    ASSERT_TRUE(res.ok()) << res.status().to_string();
+  }
+  // Version 1 is gone from the store...
+  EXPECT_EQ(engine.snapshot("office", 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.store().version_count("office"), 2u);
+  // ...but the pinned bundle is intact and bit-identical.
+  EXPECT_EQ(pinned->snapshot->version(), 1u);
+  EXPECT_TRUE(pinned->snapshot->database() == database_at_pin);
+  const auto query = office_queries(run, 1, "serve-evict").front();
+  const auto est = pinned->localizer->localize(query);
+  const auto expected = serial_localize(database_at_pin, query);
+  EXPECT_EQ(est.cell, expected.cell);
+  EXPECT_EQ(est.score, expected.score);
+}
+
+// N reader threads localize continuously while a writer commits M updates
+// (with a tight history limit, so evictions happen underneath the
+// readers).  Every result must bit-match a serial localize against the
+// exact version the reader observed, and the read path must never touch a
+// state mutex.
+TEST(ServeConcurrency, ReadersDuringUpdatesBitMatchObservedVersion) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run, EngineConfig().history_limit(2));
+  const auto queries = office_queries(run, 8, "serve-stress");
+  const std::uint64_t violations_before = serve::read_path_lock_violations();
+
+  // Record every committed database so readers can be checked against
+  // whichever version they observed (index = version - 1).
+  std::vector<linalg::Matrix> databases;
+  databases.push_back(engine.snapshot("office").value()->database());
+  constexpr std::size_t kUpdates = 3;
+  constexpr std::size_t kReaders = 4;
+
+  struct Observation {
+    std::uint64_t version;
+    std::size_t query;
+    loc::LocalizationEstimate estimate;
+  };
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> ready{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      std::size_t k = t;  // stagger the query streams across readers
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t q = k++ % queries.size();
+        // Pin the bundle FIRST so the (version, estimate) pairing is
+        // exact even when an update publishes mid-call.
+        const auto bundle = engine.published("office");
+        ASSERT_TRUE(bundle.ok());
+        const auto est = bundle.value()->localizer->localize(queries[q]);
+        observed[t].push_back(
+            {bundle.value()->snapshot->version(), q, est});
+        // Also exercise the public entry point (checked below only when
+        // no update landed mid-call).
+        const auto before = engine.published("office").value();
+        const auto via_engine = engine.localize("office", queries[q]);
+        const auto after = engine.published("office").value();
+        ASSERT_TRUE(via_engine.ok()) << via_engine.status().to_string();
+        if (before->snapshot->version() == after->snapshot->version()) {
+          observed[t].push_back(
+              {before->snapshot->version(), q, via_engine.value()});
+        }
+      }
+    });
+  }
+  while (ready.load() < kReaders) std::this_thread::yield();
+
+  const auto cells = engine.reference_cells("office").value();
+  for (std::size_t u = 0; u < kUpdates; ++u) {
+    const auto res = engine.update(
+        eval::collect_update_request(run, "office", cells, 5 + 10 * u));
+    ASSERT_TRUE(res.ok()) << res.status().to_string();
+    databases.push_back(res.value().x_hat());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(serve::read_path_lock_violations(), violations_before);
+
+  std::size_t checked = 0;
+  std::vector<std::uint64_t> versions_seen;
+  for (const auto& per_reader : observed) {
+    for (const Observation& ob : per_reader) {
+      ASSERT_GE(ob.version, 1u);
+      ASSERT_LE(ob.version, databases.size());
+      const auto expected =
+          serial_localize(databases[ob.version - 1], queries[ob.query]);
+      EXPECT_EQ(ob.estimate.cell, expected.cell);
+      EXPECT_EQ(ob.estimate.score, expected.score);  // bit-exact
+      ++checked;
+      versions_seen.push_back(ob.version);
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// Registry churn under readers: site lookups stay safe while other sites
+// register and drop (the copy-on-write map republish).
+TEST(ServeConcurrency, RegistryChurnDoesNotDisturbReaders) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+  const auto queries = office_queries(run, 4, "serve-churn");
+  const auto expected =
+      serial_localize(run.ground_truth.at_day(0), queries[0]);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    for (int i = 0; i < 6 && !stop.load(); ++i) {
+      const auto reg = engine.register_site(
+          "churn", run.ground_truth.at_day(0), run.b_mask);
+      ASSERT_TRUE(reg.ok()) << reg.status().to_string();
+      ASSERT_TRUE(engine.drop_site("churn").ok());
+    }
+    stop.store(true);
+  });
+  std::size_t reads = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    const auto est = engine.localize("office", queries[0]);
+    ASSERT_TRUE(est.ok());
+    EXPECT_EQ(est.value().cell, expected.cell);
+    EXPECT_EQ(est.value().score, expected.score);
+    ++reads;
+  }
+  churn.join();
+  EXPECT_GT(reads, 0u);
+  EXPECT_EQ(engine.published("churn").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServeFrontTest, MatchesDirectLocalizeAndValidates) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+  serve::ServeFrontOptions options;
+  options.max_batch = 4;
+  options.max_wait = std::chrono::microseconds(50);
+  serve::ServeFront front(engine.shards(), options);
+
+  const auto queries = office_queries(run, 6, "serve-front");
+  for (const auto& query : queries) {
+    const auto direct = engine.localize("office", query);
+    const auto batched = front.localize("office", query);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(batched.ok()) << batched.status().to_string();
+    EXPECT_EQ(batched.value().cell, direct.value().cell);
+    EXPECT_EQ(batched.value().score, direct.value().score);
+  }
+  EXPECT_EQ(front.total_requests(), queries.size());
+  EXPECT_GE(front.total_batches(), 1u);
+
+  EXPECT_EQ(front.localize("nope", queries[0]).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(front.localize("office", std::vector<double>(3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Concurrent callers through the front coalesce into shared batches, and
+// every caller still gets exactly the result of a direct serial localize
+// — batching changes scheduling, never bits, regardless of arrival order.
+TEST(ServeFrontTest, ConcurrentCallersGetOrderIndependentResults) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+  serve::ServeFrontOptions options;
+  options.max_batch = 8;
+  options.max_wait = std::chrono::microseconds(500);
+  serve::ServeFront front(engine.shards(), options);
+
+  const auto queries = office_queries(run, 8, "serve-front-mt");
+  std::vector<loc::LocalizationEstimate> expected;
+  for (const auto& query : queries) {
+    expected.push_back(engine.localize("office", query).value());
+  }
+
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kCallsEach = 12;
+  std::vector<std::thread> callers;
+  std::vector<std::size_t> mismatches(kCallers, 0);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (std::size_t k = 0; k < kCallsEach; ++k) {
+        // Different interleaving per caller: arrival order inside each
+        // coalesced batch varies run to run.
+        const std::size_t q = (t * 5 + k * 3) % queries.size();
+        const auto result = front.localize("office", queries[q]);
+        if (!result.ok() || result.value().cell != expected[q].cell ||
+            result.value().score != expected[q].score) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(mismatches[t], 0u) << "caller " << t;
+  }
+  EXPECT_EQ(front.total_requests(), kCallers * kCallsEach);
+  EXPECT_LE(front.total_batches(), front.total_requests());
+  EXPECT_GE(front.largest_batch(), 1u);
+}
+
+TEST(ServeReadPath, ScopeNestsAndReportsState) {
+  EXPECT_FALSE(serve::in_read_path());
+  {
+    serve::ReadPathScope outer;
+    EXPECT_TRUE(serve::in_read_path());
+    {
+      serve::ReadPathScope inner;
+      EXPECT_TRUE(serve::in_read_path());
+    }
+    EXPECT_TRUE(serve::in_read_path());
+  }
+  EXPECT_FALSE(serve::in_read_path());
+}
+
+}  // namespace
+}  // namespace iup::api
