@@ -15,6 +15,8 @@
 #include "core/mic.hpp"
 #include "core/updater.hpp"
 #include "eval/experiment.hpp"
+#include "ingest/buffer.hpp"
+#include "ingest/drift.hpp"
 #include "linalg/kernels/gemm.hpp"
 #include "linalg/kernels/kernels.hpp"
 #include "linalg/svd.hpp"
@@ -326,6 +328,36 @@ void BM_FullUpdateStagnation(benchmark::State& state) {
       static_cast<double>(last.solver.iterations);
 }
 BENCHMARK(BM_FullUpdateStagnation);
+
+// The ingest front door: validate + fold one streamed reading into the
+// per-(link, cell) running means.  This sits on the producer path of the
+// continuous-update pipeline, so it must stay far below the localize
+// read-path cost (tens of ns, not µs); bench_check.py floors the row.
+void BM_IngestObservation(benchmark::State& state) {
+  serve::SiteHealthCounters health;
+  ingest::ObservationBuffer buffer(8, 96,
+                                   health);  // office-sized id space
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    ingest::Observation obs{k % 8, (k * 7) % 96,
+                            -50.0 - static_cast<double>(k % 13), k};
+    benchmark::DoNotOptimize(buffer.push(obs));
+    if (++k % 4096 == 0) buffer.consume();  // stay under capacity
+  }
+}
+BENCHMARK(BM_IngestObservation);
+
+// One EWMA fold + threshold check per streamed residual.
+void BM_DriftDetector(benchmark::State& state) {
+  ingest::EwmaDriftDetector detector;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    detector.observe(static_cast<double>(k % 7) - 3.0);
+    benchmark::DoNotOptimize(detector.drifted());
+    ++k;
+  }
+}
+BENCHMARK(BM_DriftDetector);
 
 }  // namespace
 

@@ -14,7 +14,19 @@
 // google-benchmark), so it runs unchanged under ASan and TSan — that is
 // the CI serve-soak smoke job.
 //
-// Usage: bench_serve_soak [duration_s] [readers] [sites] [update_ms]
+// CHAOS MODE (5th arg "chaos", or CHAOS=1 through scripts/soak.sh): the
+// background updater is replaced by the full supervised ingest pipeline —
+// an ingest::UpdateSupervisor thread, a producer streaming drifting (and
+// deterministically corrupted) observations, and a seeded FaultInjector
+// conducting three phases: solver outages (sites retry, degrade, keep
+// serving last-good), slow solves against a calibrated deadline (commits
+// abort at before_publish), then all faults clear.  The verdict then also
+// requires: zero read-path violations and reader errors THROUGH the fault
+// window, at least one breaker trip, deadline trip and quarantined
+// observation, and — the recovery contract — every watched site back to
+// HEALTHY on a freshly committed version once faults cleared.
+//
+// Usage: bench_serve_soak [duration_s] [readers] [sites] [update_ms] [chaos]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -26,6 +38,8 @@
 
 #include "api/engine.hpp"
 #include "eval/experiment.hpp"
+#include "ingest/faults.hpp"
+#include "ingest/supervisor.hpp"
 #include "serve/front.hpp"
 #include "serve/shard.hpp"
 #include "sim/sampler.hpp"
@@ -40,6 +54,7 @@ struct SoakConfig {
   std::size_t readers = 4;
   std::size_t sites = 2;
   std::size_t update_period_ms = 250;
+  bool chaos = false;
 };
 
 struct ReaderStats {
@@ -67,17 +82,34 @@ int main(int argc, char** argv) {
   if (argc > 4) {
     config.update_period_ms = static_cast<std::size_t>(std::atol(argv[4]));
   }
+  if (argc > 5) {
+    const std::string flag = argv[5];
+    config.chaos = (flag == "chaos" || flag == "1");
+  }
   if (config.duration_s <= 0 || config.readers == 0 || config.sites == 0) {
     std::fprintf(stderr,
-                 "usage: %s [duration_s] [readers] [sites] [update_ms]\n",
+                 "usage: %s [duration_s] [readers] [sites] [update_ms] "
+                 "[chaos]\n",
                  argv[0]);
     return 2;
   }
 
   const eval::EnvironmentRun run(sim::make_office_testbed());
+  // The chaos run injects every fault through the engine's hook seams;
+  // loose stagnation early-stop keeps each (frequently retried) solve
+  // cheap enough that the sanitizer-slowed run still cycles the whole
+  // fail -> degrade -> recover arc inside the soak window.
+  ingest::FaultInjector faults(0xC7A05EEDULL);
+  api::EngineConfig engine_config;
+  engine_config.history_limit(4);
+  if (config.chaos) {
+    core::RsvdOptions rsvd;
+    rsvd.stagnation_tol = 1e-3;
+    engine_config.rsvd(rsvd).update_hooks(faults.engine_hooks());
+  }
   // Tight history limit: the background updates evict snapshots while
   // readers hold published bundles — the evict-while-read soak.
-  api::Engine engine(api::EngineConfig().history_limit(4));
+  api::Engine engine(engine_config);
   std::vector<std::string> sites;
   for (std::size_t s = 0; s < config.sites; ++s) {
     sites.push_back("site-" + std::to_string(s));
@@ -140,40 +172,200 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::thread updater([&] {
-    std::size_t u = 0;
-    while (!stop.load(std::memory_order_acquire)) {
-      const std::string& site = sites[u % sites.size()];
-      const std::size_t day = trace_days[1 + u % (trace_days.size() - 1)];
-      const auto cells_r = engine.reference_cells(site);
-      if (!cells_r.ok()) {
-        ++update_errors;
-        break;
-      }
-      const auto result = engine.update(eval::collect_update_request(
-          run, site, cells_r.value(), day, 5,
-          "soak-update-" + std::to_string(u)));
-      if (result.ok()) {
-        ++updates_committed;
-      } else {
-        std::fprintf(stderr, "update %s day %zu: %s\n", site.c_str(), day,
-                     result.status().to_string().c_str());
-        ++update_errors;
-      }
-      ++u;
-      const auto wake = Clock::now() +
-                        std::chrono::milliseconds(config.update_period_ms);
-      while (Clock::now() < wake && !stop.load(std::memory_order_acquire)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // --- update side: plain periodic updater by default, the supervised
+  // ingest pipeline (observation stream + drift triggers + fault phases)
+  // in chaos mode --------------------------------------------------------
+  ingest::SupervisorOptions sup_options;
+  sup_options.poll_period = std::chrono::milliseconds(10);
+  sup_options.backoff_initial = std::chrono::milliseconds(20);
+  sup_options.backoff_max = std::chrono::milliseconds(200);
+  sup_options.breaker_threshold = 2;
+  sup_options.breaker_cooldown = std::chrono::milliseconds(100);
+  ingest::UpdateSupervisor supervisor(engine, sup_options);
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> producer_rejected{0};
+  std::chrono::nanoseconds deadline{0};
+  std::thread update_side;
+
+  if (config.chaos) {
+    for (const std::string& site : sites) {
+      ingest::WatchOptions watch;
+      watch.drift.alpha = 0.1;
+      watch.drift.threshold_db = 2.0;
+      watch.drift.min_observations = 32;
+      const auto watched = supervisor.watch(site, watch);
+      if (!watched.ok()) {
+        std::fprintf(stderr, "watch %s: %s\n", site.c_str(),
+                     watched.to_string().c_str());
+        return 1;
       }
     }
-  });
+    // Calibrate the cooperative deadline off one clean update (no faults
+    // armed yet), so the sanitizer-slowed build gets a budget its honest
+    // solves fit and only the injected slow solves blow.
+    const auto cal_cells = engine.reference_cells(sites[0]);
+    const auto cal_start = Clock::now();
+    const auto calibration = engine.update(eval::collect_update_request(
+        run, sites[0], cal_cells.value(), 5, 5, "chaos-calibration"));
+    if (!calibration.ok()) {
+      std::fprintf(stderr, "calibration update: %s\n",
+                   calibration.status().to_string().c_str());
+      return 1;
+    }
+    // Clamp the budget so one injected slow solve (delay + honest solve)
+    // still finishes inside a fault phase even when a sanitizer stretches
+    // the honest solve itself to seconds.
+    const auto phase_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(config.duration_s / 3.0));
+    deadline = std::clamp<std::chrono::nanoseconds>(
+        4 * (Clock::now() - cal_start),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::milliseconds(100)),
+        phase_ns / 2);
+    faults.set_solve_delay(deadline);  // delay + any solve > deadline
+    supervisor.start();
 
-  std::this_thread::sleep_for(
-      std::chrono::duration<double>(config.duration_s));
+    update_side = std::thread([&] {
+      sim::Sampler sampler(run.testbed, "chaos-producer");
+      std::size_t p = 0;
+      auto next_trigger = Clock::now();
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string& site = sites[p % sites.size()];
+        const std::size_t day = trace_days[(p / 16) % trace_days.size()];
+        const std::size_t cell = (p * 11) % cells;
+        const auto sample = sampler.online_measurement(cell, day, 1);
+        for (std::size_t link = 0; link < sample.size(); ++link) {
+          ingest::Observation obs{link, cell, sample[link],
+                                  static_cast<std::uint64_t>(day)};
+          if (faults.fire(ingest::FaultKind::kCorruptObservation)) {
+            faults.corrupt(obs);
+          }
+          ++produced;
+          if (!supervisor.observe(site, obs).ok()) {
+            ++producer_rejected;  // quarantined / back-pressured, by design
+          }
+        }
+        if (Clock::now() >= next_trigger) {
+          for (const std::string& s : sites) supervisor.trigger(s);
+          next_trigger = Clock::now() +
+                         std::chrono::milliseconds(config.update_period_ms);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ++p;
+      }
+    });
+  } else {
+    update_side = std::thread([&] {
+      std::size_t u = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string& site = sites[u % sites.size()];
+        const std::size_t day = trace_days[1 + u % (trace_days.size() - 1)];
+        const auto cells_r = engine.reference_cells(site);
+        if (!cells_r.ok()) {
+          ++update_errors;
+          break;
+        }
+        const auto result = engine.update(eval::collect_update_request(
+            run, site, cells_r.value(), day, 5,
+            "soak-update-" + std::to_string(u)));
+        if (result.ok()) {
+          ++updates_committed;
+        } else {
+          std::fprintf(stderr, "update %s day %zu: %s\n", site.c_str(), day,
+                       result.status().to_string().c_str());
+          ++update_errors;
+        }
+        ++u;
+        const auto wake = Clock::now() +
+                          std::chrono::milliseconds(config.update_period_ms);
+        while (Clock::now() < wake && !stop.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
+
+  if (config.chaos) {
+    // Three fault phases, runtime-armed mid-soak: outages, slow solves
+    // against the deadline, then clear skies for recovery.  Each phase
+    // sleeps its nominal third of the duration and then extends — bounded
+    // at 3x — until its signature event lands, so sanitizer slowdowns
+    // stretch the conductor instead of racing it.
+    const double phase_s = config.duration_s / 3.0;
+    const auto fleet_total = [&](std::uint64_t api::SiteHealth::*member) {
+      std::uint64_t total = 0;
+      for (const std::string& site : sites) {
+        const auto health = engine.site_health(site);
+        if (health.ok()) total += health.value().*member;
+      }
+      return total;
+    };
+    const auto conduct = [&](auto done) {
+      const auto t0 = Clock::now();
+      std::this_thread::sleep_for(std::chrono::duration<double>(phase_s));
+      while (!done() && Clock::now() - t0 <
+                            std::chrono::duration<double>(3.0 * phase_s)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    };
+
+    faults.arm(ingest::FaultKind::kSolverFailure);  // every solve fails
+    faults.arm(ingest::FaultKind::kCorruptObservation, {0, 0, 3});
+    conduct([&] {
+      return fleet_total(&api::SiteHealth::breaker_trips) >= sites.size();
+    });
+
+    faults.clear(ingest::FaultKind::kSolverFailure);
+    faults.set_deadline(deadline);
+    faults.arm(ingest::FaultKind::kSlowSolve, {0, 0, 2});  // every other
+    conduct([&] {
+      return fleet_total(&api::SiteHealth::deadline_trips) >= 1;
+    });
+
+    faults.clear();  // faults clear: the recovery window
+    faults.set_deadline(std::chrono::nanoseconds(0));
+    conduct([&] {
+      for (const std::string& site : sites) {
+        const auto health = engine.site_health(site);
+        if (!health.ok() ||
+            health.value().state != serve::SiteState::kHealthy ||
+            health.value().serving_version < 2) {
+          return false;
+        }
+      }
+      return true;
+    });
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.duration_s));
+  }
   stop.store(true, std::memory_order_release);
   for (std::thread& reader : readers) reader.join();
-  updater.join();
+  update_side.join();
+
+  if (config.chaos) {
+    // Bounded post-fault grace: the supervisor thread is still pumping,
+    // so probe until every site closed its breaker and committed fresh —
+    // the recovery contract this harness exists to enforce.
+    const auto grace_end = Clock::now() + std::chrono::seconds(15);
+    while (Clock::now() < grace_end) {
+      bool all_recovered = true;
+      for (const std::string& site : sites) {
+        const auto health = engine.site_health(site);
+        if (!health.ok() ||
+            health.value().state != serve::SiteState::kHealthy ||
+            health.value().serving_version < 2) {
+          all_recovered = false;
+          break;
+        }
+      }
+      if (all_recovered) break;
+      for (const std::string& site : sites) supervisor.trigger(site);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    supervisor.stop();
+  }
   const double wall =
       std::chrono::duration<double>(Clock::now() - soak_start).count();
 
@@ -218,15 +410,111 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
-  if (update_errors.load() > 0) return 1;
+  // In chaos mode update failures are injected on purpose; the recovery
+  // verdict below replaces the plain-mode updates_committed checks.
+  if (!config.chaos && update_errors.load() > 0) return 1;
   if (violations != 0) return 1;
-  if (queries == 0 || updates_committed.load() == 0) {
+  if (queries == 0 || (!config.chaos && updates_committed.load() == 0)) {
     std::fprintf(stderr, "soak did not exercise the pipeline (queries=%llu "
                  "updates=%llu)\n",
                  static_cast<unsigned long long>(queries),
                  static_cast<unsigned long long>(updates_committed.load()));
     return 1;
   }
+
+  if (config.chaos) {
+    int chaos_rc = 0;
+    std::uint64_t fleet_breaker = 0;
+    std::uint64_t fleet_deadline = 0;
+    std::uint64_t fleet_quarantined = 0;
+    std::uint64_t fleet_drift = 0;
+    std::uint64_t fleet_ok = 0;
+    std::uint64_t fleet_failed = 0;
+    std::printf("  chaos     %llu observations produced (%llu rejected at "
+                "ingest)\n",
+                static_cast<unsigned long long>(produced.load()),
+                static_cast<unsigned long long>(producer_rejected.load()));
+    for (const std::string& site : sites) {
+      const auto health_r = engine.site_health(site);
+      if (!health_r.ok()) {
+        std::fprintf(stderr, "site_health %s: %s\n", site.c_str(),
+                     health_r.status().to_string().c_str());
+        chaos_rc = 1;
+        continue;
+      }
+      const api::SiteHealth& h = health_r.value();
+      const std::string state_name(serve::to_string(h.state));
+      std::printf("  %-10s %s v%llu/%llu  ok %llu fail %llu  drift %llu  "
+                  "deadline %llu  breaker %llu  recoveries %llu  "
+                  "quarantined %llu\n",
+                  site.c_str(), state_name.c_str(),
+                  static_cast<unsigned long long>(h.serving_version),
+                  static_cast<unsigned long long>(h.latest_version),
+                  static_cast<unsigned long long>(h.updates_ok),
+                  static_cast<unsigned long long>(h.updates_failed),
+                  static_cast<unsigned long long>(h.drift_triggers),
+                  static_cast<unsigned long long>(h.deadline_trips),
+                  static_cast<unsigned long long>(h.breaker_trips),
+                  static_cast<unsigned long long>(h.recoveries),
+                  static_cast<unsigned long long>(h.quarantined_total()));
+      fleet_breaker += h.breaker_trips;
+      fleet_deadline += h.deadline_trips;
+      fleet_quarantined += h.quarantined_total();
+      fleet_drift += h.drift_triggers;
+      fleet_ok += h.updates_ok;
+      fleet_failed += h.updates_failed;
+      if (h.state != serve::SiteState::kHealthy) {
+        std::fprintf(stderr, "chaos: %s did not recover (state %s)\n",
+                     site.c_str(), state_name.c_str());
+        chaos_rc = 1;
+      }
+      if (h.serving_version < 2 || h.serving_version != h.latest_version) {
+        std::fprintf(stderr,
+                     "chaos: %s not serving a fresh committed version "
+                     "(serving v%llu, latest v%llu)\n",
+                     site.c_str(),
+                     static_cast<unsigned long long>(h.serving_version),
+                     static_cast<unsigned long long>(h.latest_version));
+        chaos_rc = 1;
+      }
+      if (h.updates_ok == 0) {
+        std::fprintf(stderr, "chaos: %s never committed an update\n",
+                     site.c_str());
+        chaos_rc = 1;
+      }
+      if (h.breaker_trips > 0 && h.recoveries == 0) {
+        std::fprintf(stderr, "chaos: %s tripped its breaker but never "
+                     "recovered\n", site.c_str());
+        chaos_rc = 1;
+      }
+    }
+    std::printf("  fleet     ok %llu fail %llu  drift %llu  deadline %llu  "
+                "breaker %llu  quarantined %llu\n",
+                static_cast<unsigned long long>(fleet_ok),
+                static_cast<unsigned long long>(fleet_failed),
+                static_cast<unsigned long long>(fleet_drift),
+                static_cast<unsigned long long>(fleet_deadline),
+                static_cast<unsigned long long>(fleet_breaker),
+                static_cast<unsigned long long>(fleet_quarantined));
+    if (fleet_breaker == 0) {
+      std::fprintf(stderr, "chaos: no breaker ever tripped -- fault phase 1 "
+                   "did not bite\n");
+      chaos_rc = 1;
+    }
+    if (fleet_deadline == 0) {
+      std::fprintf(stderr, "chaos: no deadline ever tripped -- fault phase 2 "
+                   "did not bite\n");
+      chaos_rc = 1;
+    }
+    if (fleet_quarantined == 0) {
+      std::fprintf(stderr, "chaos: no observation was ever quarantined\n");
+      chaos_rc = 1;
+    }
+    if (chaos_rc != 0) return chaos_rc;
+    std::puts("chaos soak OK");
+    return 0;
+  }
+
   std::puts("serve soak OK");
   return 0;
 }

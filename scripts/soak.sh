@@ -9,6 +9,7 @@
 #   DURATION=30 READERS=8 scripts/soak.sh  longer / wider
 #   SANITIZE=thread scripts/soak.sh        TSan soak (CI smoke job)
 #   SANITIZE=address scripts/soak.sh       ASan+UBSan soak
+#   CHAOS=1 scripts/soak.sh                fault-injected supervised soak
 #
 # Sanitized runs build Debug (matching scripts/ci.sh) into their own build
 # tree; plain runs build Release.
@@ -20,6 +21,7 @@ READERS=${READERS:-4}
 SITES=${SITES:-2}
 UPDATE_MS=${UPDATE_MS:-250}
 SANITIZE=${SANITIZE:-}
+CHAOS=${CHAOS:-}
 
 if [ -n "$SANITIZE" ]; then
   BUILD_DIR=${BUILD_DIR:-build-soak-$SANITIZE}
@@ -42,5 +44,8 @@ export ASAN_OPTIONS=${ASAN_OPTIONS:-strict_string_checks=1:detect_stack_use_afte
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
 
-"$BUILD_DIR/bench/bench_serve_soak" "$DURATION" "$READERS" "$SITES" \
-    "$UPDATE_MS"
+SOAK_ARGS=("$DURATION" "$READERS" "$SITES" "$UPDATE_MS")
+if [ -n "$CHAOS" ]; then
+  SOAK_ARGS+=(chaos)
+fi
+"$BUILD_DIR/bench/bench_serve_soak" "${SOAK_ARGS[@]}"

@@ -1,5 +1,7 @@
 #include "api/engine.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +13,29 @@
 #include "parallel/thread_pool.hpp"
 
 namespace iup::api {
+
+namespace {
+
+// Input hygiene for the service boundary: a single NaN/Inf smuggled into a
+// solve poisons every downstream iterate (and commits a corrupt snapshot),
+// so malformed RSS is rejected with kInvalidArgument BEFORE any state is
+// touched.  One linear pass over caller-provided data — noise next to the
+// solves it protects.
+bool all_finite(const linalg::Matrix& m) {
+  for (const double v : m.data()) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool all_finite(std::span<const double> v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::unique_ptr<loc::Localizer> make_localizer(
     LocalizerKind kind, const linalg::Matrix& database,
@@ -36,7 +61,9 @@ std::unique_ptr<loc::Localizer> make_localizer(
 }
 
 Engine::Engine(EngineConfig config)
-    : config_(std::move(config)), store_(config_.history_limit()) {
+    : config_(std::move(config)),
+      hooks_(config_.update_hooks()),
+      store_(config_.history_limit()) {
   // The effective thread count wins over the per-options thread knobs no
   // matter in which order the fluent setters were called: the solver
   // sweep, the MIC column scoring and the LRR fan-out all share it.
@@ -142,6 +169,10 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
         "register_site: grid size " + std::to_string(x_original.cols()) +
         " is not a multiple of the link count " +
         std::to_string(x_original.rows()) + " (band layout)");
+  }
+  if (!all_finite(x_original) || !all_finite(b_mask)) {
+    return Status::invalid_argument(
+        "register_site: survey matrix contains non-finite entries");
   }
   const core::BandLayout layout = core::band_layout_of(x_original);
 
@@ -364,6 +395,22 @@ Result<UpdateResult> Engine::solve_request(const FingerprintSnapshot& snap,
         std::to_string(mask.rows()) + "x" +
         std::to_string(snap.reference_cells().size()) + ")");
   }
+  // Reject corrupt measurements before any solver state is built: a
+  // non-finite entry would propagate through the factor iterates and, on
+  // the update path, commit a poisoned snapshot.
+  if (!all_finite(inputs.x_b)) {
+    return Status::invalid_argument(
+        "update: X_B contains non-finite RSS values");
+  }
+  if (!all_finite(inputs.x_r)) {
+    return Status::invalid_argument(
+        "update: X_R contains non-finite RSS values");
+  }
+  // Fault-injection / chaos seam: a non-OK on_solve hook IS a solver
+  // failure as far as every caller can tell (empty by default).
+  if (hooks_.on_solve) {
+    if (Status forced = hooks_.on_solve(); !forced.ok()) return forced;
+  }
 
   core::RsvdProblem problem;
   problem.x_b = inputs.x_b;
@@ -416,6 +463,82 @@ Result<core::LrrResult> Engine::refreshed_correlation(
 }
 
 Result<UpdateResult> Engine::update(const UpdateRequest& request) {
+  // Health accounting wraps the real work: sample the process-wide SPD
+  // counters so the attempt's fallback delta lands on this site, and
+  // record the commit outcome.  Counters only — no behavior change.
+  const linalg::SpdStats spd_before = linalg::spd_stats();
+  Result<UpdateResult> result = update_impl(request);
+  record_update_health(request.site, result.ok(), spd_before);
+  return result;
+}
+
+void Engine::record_update_health(const std::string& site, bool ok,
+                                  const linalg::SpdStats& before) const {
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) return;  // unknown or dropped site: nothing to tag
+  serve::SiteHealthCounters& health = shard->health();
+  (ok ? health.updates_ok : health.updates_failed)
+      .fetch_add(1, std::memory_order_relaxed);
+  const linalg::SpdStats now = linalg::spd_stats();
+  const auto add = [](std::atomic<std::uint64_t>& counter, std::uint64_t a,
+                      std::uint64_t b) {
+    if (a > b) counter.fetch_add(a - b, std::memory_order_relaxed);
+  };
+  add(health.spd_cholesky_failures, now.cholesky_failures,
+      before.cholesky_failures);
+  add(health.spd_bump_recoveries, now.bump_recoveries, before.bump_recoveries);
+  add(health.spd_lu_fallbacks, now.lu_fallbacks, before.lu_fallbacks);
+}
+
+Result<SiteHealth> Engine::site_health(const std::string& site) const {
+  const auto shard = shards_->find(site);
+  if (shard == nullptr) {
+    return Status::not_found("site_health: unknown site '" + site + "'");
+  }
+  SiteHealth out;
+  if (const serve::PublishedPtr bundle = shard->published();
+      bundle != nullptr && bundle->snapshot != nullptr) {
+    out.serving_version = bundle->snapshot->version();
+    out.serving_day = bundle->snapshot->day();
+  }
+  {
+    const auto lock = state_lock();
+    if (store_.contains(site)) {
+      out.latest_version = store_.next_version(site) - 1;
+    }
+  }
+  const serve::SiteHealthCounters& h = shard->health();
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  out.state =
+      static_cast<serve::SiteState>(h.state.load(std::memory_order_relaxed));
+  out.last_observed_day = get(h.last_observed_day);
+  out.staleness_days = out.last_observed_day > out.serving_day
+                           ? out.last_observed_day - out.serving_day
+                           : 0;
+  out.updates_ok = get(h.updates_ok);
+  out.updates_failed = get(h.updates_failed);
+  out.update_attempts = get(h.update_attempts);
+  out.consecutive_failures = get(h.consecutive_failures);
+  out.drift_triggers = get(h.drift_triggers);
+  out.deadline_trips = get(h.deadline_trips);
+  out.breaker_trips = get(h.breaker_trips);
+  out.recoveries = get(h.recoveries);
+  out.observations_accepted = get(h.observations_accepted);
+  out.quarantine_non_finite = get(h.quarantine_non_finite);
+  out.quarantine_out_of_range = get(h.quarantine_out_of_range);
+  out.quarantine_unknown_link = get(h.quarantine_unknown_link);
+  out.quarantine_unknown_cell = get(h.quarantine_unknown_cell);
+  out.quarantine_overflow = get(h.quarantine_overflow);
+  out.spd_cholesky_failures = get(h.spd_cholesky_failures);
+  out.spd_bump_recoveries = get(h.spd_bump_recoveries);
+  out.spd_lu_fallbacks = get(h.spd_lu_fallbacks);
+  return out;
+}
+
+Result<UpdateResult> Engine::update_impl(const UpdateRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
   SnapshotPtr snap;
   const sim::Deployment* deployment = nullptr;
   {
@@ -461,6 +584,19 @@ Result<UpdateResult> Engine::update(const UpdateRequest& request) {
   std::shared_ptr<const linalg::Matrix> warm_factor;
   if (warm_start_enabled_) {
     warm_factor = std::make_shared<linalg::Matrix>(result.solver.l);
+  }
+
+  // Fault-injection / deadline seam: the everything-is-built,
+  // nothing-is-published point.  A non-OK return abandons the commit in
+  // full — the site keeps serving its previous bundle bit for bit, which
+  // is what lets a supervisor abort a solve that blew its deadline
+  // without ever exposing partial state (empty by default).
+  if (hooks_.before_publish) {
+    if (Status aborted = hooks_.before_publish(
+            std::chrono::steady_clock::now() - start);
+        !aborted.ok()) {
+      return aborted;
+    }
   }
 
   // Commit + publish.  The next bundle's localizer is built over the
@@ -591,6 +727,10 @@ Result<loc::LocalizationEstimate> Engine::localize(
         " entries but site '" + site + "' has " + std::to_string(links) +
         " links");
   }
+  if (!all_finite(measurement)) {
+    return Status::invalid_argument(
+        "localize: measurement contains non-finite RSS values");
+  }
   if (bundle->localizer == nullptr) {
     return Status::failed_precondition(
         "localize: this localizer needs deployment geometry; call "
@@ -621,6 +761,11 @@ Result<std::vector<loc::LocalizationEstimate>> Engine::localize_batch(
           "localize_batch: measurement " + std::to_string(k) + " has " +
           std::to_string(measurements[k].size()) + " entries but site '" +
           site + "' has " + std::to_string(links) + " links");
+    }
+    if (!all_finite(measurements[k])) {
+      return Status::invalid_argument(
+          "localize_batch: measurement " + std::to_string(k) +
+          " contains non-finite RSS values");
     }
   }
   if (bundle->localizer == nullptr) {

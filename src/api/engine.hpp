@@ -49,7 +49,9 @@
 #include "api/snapshot.hpp"
 #include "api/status.hpp"
 #include "core/updater.hpp"
+#include "linalg/cholesky.hpp"
 #include "loc/localizer.hpp"
+#include "serve/health.hpp"
 #include "serve/registry.hpp"
 #include "serve/shard.hpp"
 
@@ -60,6 +62,51 @@ struct UpdateRequest {
   std::string site;
   core::UpdateInputs inputs;  ///< X_B (no-decrease) + X_R (reference survey)
   std::size_t day = 0;        ///< timestamp label carried into the snapshot
+};
+
+/// One-call health/staleness introspection for a site: a plain-value
+/// snapshot of its serve::SiteHealthCounters plus the serving metadata a
+/// degraded site keeps publishing (which version is served, how stale it
+/// is against the observation stream).  Counters are relaxed-atomic
+/// tallies sampled individually, so fields may be mutually skewed by
+/// in-flight updates — a monitoring surface, not a transaction.
+struct SiteHealth {
+  serve::SiteState state = serve::SiteState::kHealthy;
+  std::uint64_t serving_version = 0;  ///< published bundle's version
+  std::size_t serving_day = 0;        ///< published bundle's day label
+  std::uint64_t latest_version = 0;   ///< store's newest committed version
+  /// Largest day label seen on the site's observation stream; together
+  /// with serving_day this is the staleness a degraded site serves under.
+  std::uint64_t last_observed_day = 0;
+  /// last_observed_day - serving_day when the stream is ahead, else 0.
+  std::uint64_t staleness_days = 0;
+
+  std::uint64_t updates_ok = 0;
+  std::uint64_t updates_failed = 0;
+  std::uint64_t update_attempts = 0;
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t drift_triggers = 0;
+  std::uint64_t deadline_trips = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t recoveries = 0;
+
+  std::uint64_t observations_accepted = 0;
+  std::uint64_t quarantine_non_finite = 0;
+  std::uint64_t quarantine_out_of_range = 0;
+  std::uint64_t quarantine_unknown_link = 0;
+  std::uint64_t quarantine_unknown_cell = 0;
+  std::uint64_t quarantine_overflow = 0;
+  std::uint64_t quarantined_total() const {
+    return quarantine_non_finite + quarantine_out_of_range +
+           quarantine_unknown_link + quarantine_unknown_cell +
+           quarantine_overflow;
+  }
+
+  /// Per-site SPD fallback attribution (see serve/health.hpp for the
+  /// concurrent-update attribution caveat).
+  std::uint64_t spd_cholesky_failures = 0;
+  std::uint64_t spd_bump_recoveries = 0;
+  std::uint64_t spd_lu_fallbacks = 0;
 };
 
 struct UpdateResult {
@@ -172,11 +219,29 @@ class Engine {
   /// consultation rule as warm_start_version().
   std::optional<std::uint64_t> lrr_warm_version(const std::string& site) const;
 
+  /// Health/staleness snapshot for one site: update pipeline state,
+  /// serving version vs latest commit, quarantine tallies and the SPD
+  /// fallback counters attributed to this site (previously only the
+  /// process-global linalg::spd_stats() existed).  Not a read-path call
+  /// (it takes the commit lock for the latest version); monitoring and
+  /// tests only.
+  Result<SiteHealth> site_health(const std::string& site) const;
+
  private:
   /// Validate `request` against `snapshot` and run the solver, seeding it
   /// from the shard's warm-start cache when the cached version matches.
   Result<UpdateResult> solve_request(const FingerprintSnapshot& snapshot,
                                      const UpdateRequest& request) const;
+
+  /// update() minus the health accounting wrapper.
+  Result<UpdateResult> update_impl(const UpdateRequest& request);
+
+  /// Record one update outcome in the site's shard counters: commit
+  /// success/failure plus the delta of the process-wide SPD stats across
+  /// the attempt (the per-site fallback attribution; see serve/health.hpp
+  /// for the concurrency caveat).
+  void record_update_health(const std::string& site, bool ok,
+                            const linalg::SpdStats& before) const;
 
   /// Post-commit correlation refresh: gather the reference columns of
   /// `x_hat` (MIC) and re-solve the LRR for Z, both over the engine's
@@ -217,6 +282,9 @@ class Engine {
                         std::shared_ptr<const core::LrrWarmStart> lrr) const;
 
   EngineConfig config_;
+  /// config_.update_hooks(): failure-path seams, empty (never consulted)
+  /// by default.
+  UpdateHooks hooks_;
   /// config_.lrr() with the effective thread budget applied; every
   /// correlation acquisition/refresh solves with these options.
   core::LrrOptions lrr_options_;

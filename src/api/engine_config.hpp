@@ -9,12 +9,15 @@
 // augmented RSVD, OMP localization, correlation refreshed on every commit).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "api/solver_backend.hpp"
+#include "api/status.hpp"
 #include "core/lrr.hpp"
 #include "core/mic.hpp"
 #include "core/rsvd.hpp"
@@ -26,6 +29,28 @@ enum class LocalizerKind {
   kOmp,   ///< the paper's sparse-recovery matcher (Sec. V)
   kKnn,   ///< RADAR-style nearest fingerprints
   kRass,  ///< SVR baseline; needs Engine::attach_deployment
+};
+
+/// Failure-path seams on the update pipeline, default-empty (and then
+/// completely free: a null hook is never consulted, so the default-config
+/// update trajectory is byte-identical with or without this struct).
+/// ingest::FaultInjector::engine_hooks() builds closures for both seams;
+/// they are how the chaos soak forces solver failures, stretches a solve
+/// past its deadline and delays publication at runtime.  Hooks may be
+/// called concurrently (one per in-flight update) and must be
+/// thread-safe.
+struct UpdateHooks {
+  /// Consulted by every solve (update / reconstruct / update_batch) after
+  /// request validation, before the solver runs.  A non-OK return fails
+  /// the solve with exactly that status — no state has been touched.
+  std::function<Status()> on_solve;
+  /// Consulted once per update() after the solve and correlation refresh,
+  /// before the commit lock is taken; `elapsed` is the wall-clock time
+  /// since the update entered the engine.  A non-OK return aborts the
+  /// commit — nothing is published, the site keeps serving its last-good
+  /// bundle — which is how a cooperative deadline is enforced (return
+  /// kDeadlineExceeded when `elapsed` is past budget).
+  std::function<Status(std::chrono::nanoseconds elapsed)> before_publish;
 };
 
 class EngineConfig {
@@ -115,6 +140,12 @@ class EngineConfig {
     threads_ = value;
     return *this;
   }
+  /// Install failure-path seams on the update pipeline (see UpdateHooks).
+  /// Default-empty hooks cost nothing and change nothing.
+  EngineConfig& update_hooks(UpdateHooks value) {
+    update_hooks_ = std::move(value);
+    return *this;
+  }
 
   const core::RsvdOptions& rsvd() const { return rsvd_; }
   const core::LrrOptions& lrr() const { return lrr_; }
@@ -128,6 +159,7 @@ class EngineConfig {
   }
   LocalizerKind localizer() const { return localizer_; }
   std::size_t history_limit() const { return history_limit_; }
+  const UpdateHooks& update_hooks() const { return update_hooks_; }
   std::size_t threads() const {
     return threads_ == kInheritThreads ? rsvd_.threads : threads_;
   }
@@ -147,6 +179,7 @@ class EngineConfig {
   LocalizerKind localizer_ = LocalizerKind::kOmp;
   std::size_t history_limit_ = 0;
   std::size_t threads_ = kInheritThreads;
+  UpdateHooks update_hooks_;
 };
 
 }  // namespace iup::api

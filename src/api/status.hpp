@@ -17,11 +17,18 @@ namespace iup::api {
 
 enum class StatusCode {
   kOk,
-  kInvalidArgument,     ///< malformed request (shape mismatch, empty set, ...)
+  kInvalidArgument,     ///< malformed request (shape mismatch, empty set,
+                        ///< non-finite RSS, ...)
   kNotFound,            ///< unknown site / evicted snapshot version
   kFailedPrecondition,  ///< valid request, wrong engine state (duplicate
                         ///< site, missing deployment, ...)
   kInternal,            ///< a lower layer failed unexpectedly
+  kUnavailable,         ///< transient: retry may succeed (circuit breaker
+                        ///< open, injected fault, solver outage)
+  kDeadlineExceeded,    ///< the work ran past its deadline; any commit was
+                        ///< aborted, the last-good version keeps serving
+  kResourceExhausted,   ///< a bounded resource is full (observation
+                        ///< buffer at capacity, ...)
 };
 
 constexpr std::string_view to_string(StatusCode code) {
@@ -31,8 +38,27 @@ constexpr std::string_view to_string(StatusCode code) {
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
+}
+
+/// Inverse of to_string(StatusCode): the code whose name is `name`, or
+/// nullopt for anything else (including "UNKNOWN").  Exists so logs and
+/// wire formats can round-trip codes; tests enumerate every code through
+/// it.
+constexpr std::optional<StatusCode> status_code_from_string(
+    std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
+        StatusCode::kResourceExhausted}) {
+    if (to_string(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 class Status {
@@ -53,6 +79,15 @@ class Status {
   }
   static Status internal(std::string message) {
     return {StatusCode::kInternal, std::move(message)};
+  }
+  static Status unavailable(std::string message) {
+    return {StatusCode::kUnavailable, std::move(message)};
+  }
+  static Status deadline_exceeded(std::string message) {
+    return {StatusCode::kDeadlineExceeded, std::move(message)};
+  }
+  static Status resource_exhausted(std::string message) {
+    return {StatusCode::kResourceExhausted, std::move(message)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

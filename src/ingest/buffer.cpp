@@ -1,0 +1,123 @@
+#include "ingest/buffer.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace iup::ingest {
+
+ObservationBuffer::ObservationBuffer(std::size_t links, std::size_t cells,
+                                     serve::SiteHealthCounters& health,
+                                     ObservationBufferOptions options)
+    : links_(links), cells_(cells), health_(health), options_(options) {}
+
+api::Status ObservationBuffer::push(const Observation& observation) {
+  // Validation order mirrors severity: a non-finite value is quarantined
+  // as such even when its ids are also bad, so the counters tell the
+  // operator *what* is wrong with the stream, not just that it is.
+  if (!std::isfinite(observation.rss_db)) {
+    health_.quarantine_non_finite.fetch_add(1, std::memory_order_relaxed);
+    return api::Status::invalid_argument(
+        "observation: non-finite RSS reading quarantined");
+  }
+  if (observation.rss_db < options_.limits.min_rss_db ||
+      observation.rss_db > options_.limits.max_rss_db) {
+    health_.quarantine_out_of_range.fetch_add(1, std::memory_order_relaxed);
+    return api::Status::invalid_argument(
+        "observation: RSS " + std::to_string(observation.rss_db) +
+        " dB outside [" + std::to_string(options_.limits.min_rss_db) + ", " +
+        std::to_string(options_.limits.max_rss_db) + "] quarantined");
+  }
+  if (observation.link >= links_) {
+    health_.quarantine_unknown_link.fetch_add(1, std::memory_order_relaxed);
+    return api::Status::invalid_argument(
+        "observation: unknown link id " + std::to_string(observation.link) +
+        " (site has " + std::to_string(links_) + " links)");
+  }
+  if (observation.cell >= cells_) {
+    health_.quarantine_unknown_cell.fetch_add(1, std::memory_order_relaxed);
+    return api::Status::invalid_argument(
+        "observation: unknown cell id " + std::to_string(observation.cell) +
+        " (site has " + std::to_string(cells_) + " cells)");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (accepted_ >= options_.capacity) {
+      health_.quarantine_overflow.fetch_add(1, std::memory_order_relaxed);
+      return api::Status::resource_exhausted(
+          "observation buffer at capacity (" +
+          std::to_string(options_.capacity) + "); update must drain first");
+    }
+    Aggregate& agg = entries_[key(observation.link, observation.cell)];
+    agg.sum += observation.rss_db;
+    agg.count += 1;
+    ++accepted_;
+  }
+  health_.observations_accepted.fetch_add(1, std::memory_order_relaxed);
+  health_.note_observed_day(observation.day);
+  return {};
+}
+
+std::size_t ObservationBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+std::size_t ObservationBuffer::coverage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::optional<double> ObservationBuffer::mean(std::size_t link,
+                                              std::size_t cell) const {
+  if (link >= links_ || cell >= cells_) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key(link, cell));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.sum / static_cast<double>(it->second.count);
+}
+
+void ObservationBuffer::consume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  accepted_ = 0;
+}
+
+api::Result<core::UpdateInputs> ObservationBuffer::assemble(
+    const api::FingerprintSnapshot& snapshot) const {
+  const linalg::Matrix& x = snapshot.database();
+  const linalg::Matrix& mask = snapshot.mask();
+  if (x.rows() != links_ || x.cols() != cells_) {
+    return api::Status::invalid_argument(
+        "assemble: snapshot is " + std::to_string(x.rows()) + "x" +
+        std::to_string(x.cols()) + " but the buffer was sized for " +
+        std::to_string(links_) + "x" + std::to_string(cells_));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto fresh_or_served = [&](std::size_t i, std::size_t j) {
+    const auto it = entries_.find(key(i, j));
+    if (it == entries_.end()) return x(i, j);
+    return it->second.sum / static_cast<double>(it->second.count);
+  };
+
+  core::UpdateInputs inputs;
+  inputs.x_b = linalg::Matrix(links_, cells_);
+  for (std::size_t i = 0; i < links_; ++i) {
+    for (std::size_t j = 0; j < cells_; ++j) {
+      if (mask(i, j) != 0.0) inputs.x_b(i, j) = fresh_or_served(i, j);
+    }
+  }
+
+  const std::vector<std::size_t>& refs = snapshot.reference_cells();
+  inputs.x_r = linalg::Matrix(links_, refs.size());
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    for (std::size_t i = 0; i < links_; ++i) {
+      inputs.x_r(i, k) = fresh_or_served(i, refs[k]);
+    }
+  }
+  return inputs;
+}
+
+}  // namespace iup::ingest

@@ -1,0 +1,109 @@
+// Per-site validated observation buffer.
+//
+// The front door of the continuous-update pipeline: every streamed
+// Observation passes through push(), which either quarantines it (counted
+// by reason in the site's serve::SiteHealthCounters, then dropped — a bad
+// reading must never reach the solver) or folds it into the per-(link,
+// cell) running means the next update is assembled from.  The buffer is
+// bounded: once `capacity` observations are held, further pushes fail
+// with kResourceExhausted until an update consumes the epoch — back
+// pressure instead of unbounded memory under a stalled supervisor.
+//
+// assemble() turns the buffered means into the solver's UpdateInputs
+// against a concrete snapshot: fresh means where the stream covered an
+// entry, the served value as a stale fallback elsewhere (so a sparse
+// stream still yields a well-formed X_B / X_R — the solver sees "no
+// change observed" rather than zeros that would read as -inf dB drops).
+//
+// Thread-safe behind one internal mutex; never called on the serve read
+// path (producers and the supervisor only).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "api/snapshot.hpp"
+#include "api/status.hpp"
+#include "core/updater.hpp"
+#include "ingest/observation.hpp"
+#include "serve/health.hpp"
+
+namespace iup::ingest {
+
+struct ObservationBufferOptions {
+  /// Accepted observations held per epoch; pushes beyond this fail with
+  /// kResourceExhausted (and count as quarantine_overflow) until
+  /// consume() opens the next epoch.
+  std::size_t capacity = 4096;
+  ObservationLimits limits;
+};
+
+class ObservationBuffer {
+ public:
+  /// `links` / `cells` bound the valid id space (M and N of the site's
+  /// fingerprint matrix); `health` is the counter block quarantine and
+  /// acceptance tallies land in — the site's shard counters when wired by
+  /// the supervisor, or a test-owned instance.  `health` must outlive the
+  /// buffer.
+  ObservationBuffer(std::size_t links, std::size_t cells,
+                    serve::SiteHealthCounters& health,
+                    ObservationBufferOptions options = {});
+
+  /// Validate and buffer one reading.  Returns kInvalidArgument for
+  /// non-finite / out-of-range values and unknown link or cell ids (the
+  /// reading is quarantined), kResourceExhausted at capacity, OK on
+  /// accept.  Accepted readings update the per-(link, cell) running mean
+  /// and the health block's last_observed_day.
+  api::Status push(const Observation& observation);
+
+  /// Accepted observations in the current epoch.
+  std::size_t size() const;
+
+  /// Distinct (link, cell) entries with at least one accepted reading.
+  std::size_t coverage() const;
+
+  /// Mean buffered RSS for one entry, or nullopt when the stream has not
+  /// covered it this epoch.
+  std::optional<double> mean(std::size_t link, std::size_t cell) const;
+
+  /// Drop the current epoch's readings (after a committed update consumed
+  /// them).  Quarantine/acceptance tallies are cumulative and unaffected.
+  void consume();
+
+  /// Build the solver inputs for an update against `snapshot`: X_B holds
+  /// the buffered mean at every no-decrease (mask == 1) entry the stream
+  /// covered and the served database value elsewhere in the mask (stale
+  /// fallback), zeros off-mask; X_R is one column per reference cell with
+  /// the same fresh-else-served rule.  Fails with kInvalidArgument when
+  /// the snapshot's shape disagrees with the buffer's id space.
+  api::Result<core::UpdateInputs> assemble(
+      const api::FingerprintSnapshot& snapshot) const;
+
+  std::size_t links() const { return links_; }
+  std::size_t cells() const { return cells_; }
+  const ObservationBufferOptions& options() const { return options_; }
+
+ private:
+  struct Aggregate {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  std::uint64_t key(std::size_t link, std::size_t cell) const {
+    return static_cast<std::uint64_t>(link) * cells_ + cell;
+  }
+
+  std::size_t links_;
+  std::size_t cells_;
+  serve::SiteHealthCounters& health_;
+  ObservationBufferOptions options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Aggregate> entries_;
+  std::size_t accepted_ = 0;  ///< this epoch
+};
+
+}  // namespace iup::ingest

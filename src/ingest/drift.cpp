@@ -1,0 +1,28 @@
+#include "ingest/drift.hpp"
+
+#include <cmath>
+
+namespace iup::ingest {
+
+EwmaDriftDetector::EwmaDriftDetector(DriftDetectorOptions options)
+    : options_(options) {}
+
+void EwmaDriftDetector::observe(double residual_db) {
+  const double r = std::fabs(residual_db);
+  // Seed the average with the first residual instead of decaying up from
+  // zero, so min_observations is about support, not EWMA warm-up lag.
+  ewma_ = count_ == 0 ? r : (1.0 - options_.alpha) * ewma_ + options_.alpha * r;
+  ++count_;
+}
+
+bool EwmaDriftDetector::drifted() const {
+  return count_ >= options_.min_observations &&
+         ewma_ >= options_.threshold_db;
+}
+
+void EwmaDriftDetector::reset() {
+  ewma_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace iup::ingest

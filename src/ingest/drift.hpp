@@ -1,0 +1,61 @@
+// EWMA drift detection against the served snapshot.
+//
+// The paper's Fig. 2 shows the fingerprint level wandering ~2.5 dB over 5
+// days and ~6 dB over 45 (sim::DriftModel reproduces that trajectory), so
+// "when is the served database stale enough to pay for an update?" has a
+// natural statistic: the absolute residual between each fresh reading and
+// the value the published snapshot serves for the same (link, cell).  The
+// detector keeps an exponentially-weighted moving average of those
+// residuals — cheap, O(1) per observation, and robust to single outliers
+// (which the quarantine has already removed anyway) — and reports drift
+// once the average crosses a dB threshold with enough support.
+//
+// Not thread-safe on its own; the supervisor feeds it under its own lock.
+#pragma once
+
+#include <cstddef>
+
+namespace iup::ingest {
+
+struct DriftDetectorOptions {
+  /// EWMA weight of the newest residual; 0 < alpha <= 1.  The default
+  /// averages over roughly the last 1/alpha = 20 readings.
+  double alpha = 0.05;
+  /// Mean absolute residual [dB] that declares the served snapshot
+  /// drifted (the paper's 5-day drift is ~2.5 dB; trigger just under it).
+  double threshold_db = 2.0;
+  /// Readings required before drifted() may fire — a handful of fresh
+  /// observations is noise, not evidence.
+  std::size_t min_observations = 16;
+};
+
+class EwmaDriftDetector {
+ public:
+  explicit EwmaDriftDetector(DriftDetectorOptions options = {});
+
+  /// Fold in one |measured - served| residual [dB].
+  void observe(double residual_db);
+
+  /// Current EWMA of the absolute residuals (0 before any observation).
+  double ewma() const { return ewma_; }
+
+  std::size_t count() const { return count_; }
+
+  /// True once the EWMA is at/above threshold_db with min_observations of
+  /// support.  Stays true until reset() — the supervisor resets after it
+  /// has queued the update the detection asked for.
+  bool drifted() const;
+
+  /// Start a fresh window (after a committed update: the residuals were
+  /// measured against a snapshot that is no longer serving).
+  void reset();
+
+  const DriftDetectorOptions& options() const { return options_; }
+
+ private:
+  DriftDetectorOptions options_;
+  double ewma_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace iup::ingest

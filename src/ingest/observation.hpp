@@ -1,0 +1,47 @@
+// iup::ingest — streamed sparse RSS observations.
+//
+// The paper's continuous-update story assumes fresh measurements keep
+// arriving from the deployment (participatory baseline traffic plus the
+// occasional reference-location survey).  This layer models that stream
+// as individual Observation records — one (link, cell) RSS reading with a
+// day stamp — validated at the door (ObservationLimits) and buffered per
+// site until the supervisor decides the served snapshot has drifted far
+// enough to pay for an update.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iup::ingest {
+
+/// One streamed RSS reading: link `link` observed `rss_db` while the
+/// environment was labelled as day `day`, attributed to grid cell `cell`
+/// (the surveyor's position for reference measurements, the no-decrease
+/// cell for baseline traffic).
+struct Observation {
+  std::size_t link = 0;
+  std::size_t cell = 0;
+  double rss_db = 0.0;
+  std::uint64_t day = 0;
+};
+
+/// Validation envelope for incoming readings.  Anything outside is
+/// quarantined (counted, dropped) rather than fed to the solver: a single
+/// NaN in X_B would poison the whole reconstruction, and a 400 dB reading
+/// is a sensor fault, not signal.  Defaults cover every RSS a real 2.4 GHz
+/// deployment can produce with generous margin.
+struct ObservationLimits {
+  double min_rss_db = -120.0;
+  double max_rss_db = 30.0;
+};
+
+/// Why an observation was quarantined instead of buffered.
+enum class QuarantineReason {
+  kNonFinite,    ///< NaN / +-Inf reading
+  kOutOfRange,   ///< finite but outside ObservationLimits
+  kUnknownLink,  ///< link id >= the site's link count
+  kUnknownCell,  ///< cell id >= the site's cell count
+  kOverflow,     ///< buffer at capacity (kResourceExhausted)
+};
+
+}  // namespace iup::ingest

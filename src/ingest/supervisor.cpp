@@ -1,0 +1,260 @@
+#include "ingest/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "serve/shard.hpp"
+
+namespace iup::ingest {
+
+UpdateSupervisor::UpdateSupervisor(api::Engine& engine,
+                                   SupervisorOptions options)
+    : engine_(engine), options_(options) {}
+
+UpdateSupervisor::~UpdateSupervisor() { stop(); }
+
+api::Status UpdateSupervisor::watch(const std::string& site,
+                                    WatchOptions options) {
+  std::shared_ptr<serve::SiteShard> shard = engine_.shards().find(site);
+  if (!shard) {
+    return api::Status::not_found("watch: unknown site '" + site + "'");
+  }
+  api::Result<api::SnapshotPtr> snapshot = engine_.snapshot(site);
+  if (!snapshot.ok()) return snapshot.status();
+  const linalg::Matrix& x = (*snapshot)->database();
+
+  auto watched = std::make_shared<Watched>();
+  watched->site = site;
+  watched->shard = std::move(shard);
+  watched->buffer = std::make_unique<ObservationBuffer>(
+      x.rows(), x.cols(), watched->shard->health(), options.buffer);
+  watched->watch = std::move(options);
+  watched->jitter = rng::Rng(options_.seed).fork(site);
+  watched->detector = EwmaDriftDetector(watched->watch.drift);
+  watched->backoff = options_.backoff_initial;
+  watched->next_attempt = Clock::now();
+
+  std::lock_guard<std::mutex> lock(sites_mutex_);
+  if (!sites_.emplace(site, std::move(watched)).second) {
+    return api::Status::failed_precondition("watch: site '" + site +
+                                            "' is already watched");
+  }
+  return {};
+}
+
+api::Status UpdateSupervisor::unwatch(const std::string& site) {
+  std::lock_guard<std::mutex> lock(sites_mutex_);
+  if (sites_.erase(site) == 0) {
+    return api::Status::not_found("unwatch: site '" + site +
+                                  "' is not watched");
+  }
+  return {};
+}
+
+UpdateSupervisor::WatchedPtr UpdateSupervisor::find(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(sites_mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : it->second;
+}
+
+api::Status UpdateSupervisor::observe(const std::string& site,
+                                      const Observation& observation) {
+  const WatchedPtr w = find(site);
+  if (!w) {
+    return api::Status::not_found("observe: site '" + site +
+                                  "' is not watched");
+  }
+  if (api::Status verdict = w->buffer->push(observation); !verdict.ok()) {
+    return verdict;  // quarantined; counters already bumped
+  }
+
+  // Residual against whatever is SERVING right now (lock-free load): the
+  // detector asks "how stale is the published snapshot", not "how noisy
+  // is the stream".
+  const serve::PublishedPtr bundle = w->shard->published();
+  double served = observation.rss_db;
+  if (bundle && bundle->snapshot) {
+    served = bundle->snapshot->database()(observation.link, observation.cell);
+  }
+
+  std::lock_guard<std::mutex> lock(w->mutex);
+  w->detector.observe(observation.rss_db - served);
+  if (w->detector.drifted()) {
+    w->shard->health().drift_triggers.fetch_add(1, std::memory_order_relaxed);
+    w->detector.reset();
+    if (!w->pending && !w->in_flight) {
+      w->pending = true;
+      w->next_attempt = Clock::now();
+    }
+  }
+  return {};
+}
+
+api::Status UpdateSupervisor::trigger(const std::string& site) {
+  const WatchedPtr w = find(site);
+  if (!w) {
+    return api::Status::not_found("trigger: site '" + site +
+                                  "' is not watched");
+  }
+  std::lock_guard<std::mutex> lock(w->mutex);
+  w->pending = true;
+  w->next_attempt = Clock::now();
+  return {};
+}
+
+void UpdateSupervisor::set_state(Watched& w, serve::SiteState state) {
+  w.state = state;
+  w.shard->health().state.store(static_cast<std::uint32_t>(state),
+                                std::memory_order_relaxed);
+}
+
+api::Result<api::UpdateRequest> UpdateSupervisor::collect(Watched& w,
+                                                          std::uint64_t day) {
+  if (w.watch.collector) return w.watch.collector(w.site, day);
+  api::Result<api::SnapshotPtr> snapshot = engine_.snapshot(w.site);
+  if (!snapshot.ok()) return snapshot.status();
+  api::Result<core::UpdateInputs> inputs = w.buffer->assemble(**snapshot);
+  if (!inputs.ok()) return inputs.status();
+  api::UpdateRequest request;
+  request.site = w.site;
+  request.inputs = std::move(inputs).value();
+  request.day = static_cast<std::size_t>(day);
+  return request;
+}
+
+void UpdateSupervisor::attempt(Watched& w) {
+  serve::SiteHealthCounters& health = w.shard->health();
+  const std::uint64_t day =
+      health.last_observed_day.load(std::memory_order_relaxed);
+
+  // Build + solve OUTSIDE every supervisor lock: observe() keeps
+  // streaming while the solver runs.
+  const Clock::time_point started = Clock::now();
+  api::Status outcome;
+  {
+    api::Result<api::UpdateRequest> request = collect(w, day);
+    if (!request.ok()) {
+      outcome = request.status();
+    } else {
+      const api::Result<api::UpdateResult> result = engine_.update(*request);
+      if (!result.ok()) outcome = result.status();
+    }
+  }
+  const std::chrono::nanoseconds elapsed = Clock::now() - started;
+
+  std::lock_guard<std::mutex> lock(w.mutex);
+  w.in_flight = false;
+  if (outcome.ok()) {
+    w.pending = false;
+    w.consecutive_failures = 0;
+    health.consecutive_failures.store(0, std::memory_order_relaxed);
+    w.backoff = options_.backoff_initial;
+    w.buffer->consume();   // the committed update ate this epoch
+    w.detector.reset();    // residuals were against the replaced version
+    if (w.degraded) {
+      w.degraded = false;
+      health.recoveries.fetch_add(1, std::memory_order_relaxed);
+    }
+    set_state(w, serve::SiteState::kHealthy);
+    if (options_.deadline.count() > 0 && elapsed > options_.deadline) {
+      // Soft classification: the commit landed, but over budget.
+      health.deadline_trips.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  ++w.consecutive_failures;
+  health.consecutive_failures.store(w.consecutive_failures,
+                                    std::memory_order_relaxed);
+  if (outcome.code() == api::StatusCode::kDeadlineExceeded) {
+    health.deadline_trips.fetch_add(1, std::memory_order_relaxed);
+  }
+  w.pending = true;  // never give up; the breaker only slows the cadence
+  const Clock::time_point now = Clock::now();
+  if (w.consecutive_failures >= options_.breaker_threshold) {
+    if (!w.degraded) {
+      w.degraded = true;
+      health.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+    }
+    set_state(w, serve::SiteState::kDegraded);
+    w.next_attempt = now + options_.breaker_cooldown;  // half-open probe
+  } else {
+    set_state(w, serve::SiteState::kBackoff);
+    const double factor = options_.backoff_jitter > 0.0
+                              ? w.jitter.uniform(1.0 - options_.backoff_jitter,
+                                                 1.0 + options_.backoff_jitter)
+                              : 1.0;
+    const auto base = std::min<std::chrono::nanoseconds>(
+        w.backoff, options_.backoff_max);
+    w.next_attempt =
+        now + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                  std::llround(static_cast<double>(base.count()) * factor)));
+    w.backoff = std::min<std::chrono::nanoseconds>(base * 2,
+                                                   options_.backoff_max);
+  }
+}
+
+std::size_t UpdateSupervisor::pump() {
+  std::vector<WatchedPtr> sites;
+  {
+    std::lock_guard<std::mutex> lock(sites_mutex_);
+    sites.reserve(sites_.size());
+    for (const auto& [name, w] : sites_) sites.push_back(w);
+  }
+
+  std::size_t ran = 0;
+  for (const WatchedPtr& w : sites) {
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      if (!w->pending || w->in_flight || Clock::now() < w->next_attempt) {
+        continue;
+      }
+      w->in_flight = true;
+      set_state(*w, serve::SiteState::kUpdating);
+      w->shard->health().update_attempts.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+    attempt(*w);
+    ++ran;
+  }
+  return ran;
+}
+
+void UpdateSupervisor::start() {
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    while (true) {
+      pump();
+      std::unique_lock<std::mutex> lk(run_mutex_);
+      if (run_cv_.wait_for(lk, options_.poll_period,
+                           [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+  });
+}
+
+void UpdateSupervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  run_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  running_ = false;
+}
+
+bool UpdateSupervisor::running() const {
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  return running_;
+}
+
+}  // namespace iup::ingest

@@ -1,0 +1,99 @@
+// Per-site health state for the continuous-update pipeline.
+//
+// One SiteHealthCounters lives in each SiteShard, next to the published
+// bundle it describes.  Three writers feed it, none of them on the serve
+// read path: the Engine's update paths (commit outcomes + SPD fallback
+// deltas), the ingest::ObservationBuffer (quarantine tallies) and the
+// ingest::UpdateSupervisor (state machine, backoff/breaker transitions).
+// Every field is a relaxed atomic: the counters are monotonic tallies (or
+// a last-writer-wins state word) read for monitoring and by tests after
+// joins — they order nothing, so they stay cheap enough to leave on in
+// release builds, exactly like linalg::SpdStats.  Readers assemble a
+// consistent-enough view through api::Engine::site_health(); individual
+// loads may interleave with concurrent updates, which is fine for a
+// diagnostic surface (no serving decision reads these counters).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace iup::serve {
+
+/// Where a site sits in the supervised update lifecycle.  Serving is
+/// NEVER gated on this state: a degraded site keeps serving its last-good
+/// published bundle; the state only describes the update pipeline.
+///
+///   healthy -> updating -> healthy            (commit landed)
+///   updating -> backoff -> updating           (retry with exp. backoff)
+///   backoff -> degraded                       (breaker: too many failures)
+///   degraded -> updating -> healthy           (probe succeeded: recovered)
+enum class SiteState : std::uint32_t {
+  kHealthy = 0,   ///< last update attempt (if any) committed
+  kUpdating = 1,  ///< an update attempt is in flight
+  kBackoff = 2,   ///< waiting out the retry backoff after a failure
+  kDegraded = 3,  ///< circuit breaker open: serving last-good, probing
+};
+
+constexpr std::string_view to_string(SiteState state) {
+  switch (state) {
+    case SiteState::kHealthy: return "HEALTHY";
+    case SiteState::kUpdating: return "UPDATING";
+    case SiteState::kBackoff: return "BACKOFF";
+    case SiteState::kDegraded: return "DEGRADED";
+  }
+  return "UNKNOWN";
+}
+
+struct SiteHealthCounters {
+  /// SiteState word (last writer wins; the supervisor is the only writer
+  /// once a site is watched).
+  std::atomic<std::uint32_t> state{0};
+
+  // --- update outcomes (Engine::update records these for every caller,
+  // supervised or not) ------------------------------------------------
+  std::atomic<std::uint64_t> updates_ok{0};
+  std::atomic<std::uint64_t> updates_failed{0};
+
+  // --- supervisor state machine ---------------------------------------
+  std::atomic<std::uint64_t> update_attempts{0};
+  std::atomic<std::uint64_t> consecutive_failures{0};
+  std::atomic<std::uint64_t> drift_triggers{0};   ///< EWMA crossed threshold
+  std::atomic<std::uint64_t> deadline_trips{0};   ///< kDeadlineExceeded
+  std::atomic<std::uint64_t> breaker_trips{0};    ///< entered kDegraded
+  std::atomic<std::uint64_t> recoveries{0};       ///< left kDegraded
+
+  // --- ingest / quarantine (ObservationBuffer) ------------------------
+  std::atomic<std::uint64_t> observations_accepted{0};
+  std::atomic<std::uint64_t> quarantine_non_finite{0};
+  std::atomic<std::uint64_t> quarantine_out_of_range{0};
+  std::atomic<std::uint64_t> quarantine_unknown_link{0};
+  std::atomic<std::uint64_t> quarantine_unknown_cell{0};
+  std::atomic<std::uint64_t> quarantine_overflow{0};  ///< buffer at capacity
+  /// Largest observation day streamed for the site; together with the
+  /// published snapshot's day this is the staleness metadata a degraded
+  /// site serves under.
+  std::atomic<std::uint64_t> last_observed_day{0};
+
+  // --- SPD solve-path fallbacks attributed to this site ----------------
+  // Deltas of the process-wide linalg::spd_stats() sampled around each
+  // update's solve + refresh.  With updates of DIFFERENT sites running
+  // concurrently the windows overlap and a fallback may be attributed to
+  // the wrong site (or double-counted); the per-site split is a
+  // diagnostic for "which deployment's normal equations are degrading",
+  // not an exact ledger — the process-global spd_stats() remains the
+  // authoritative total.
+  std::atomic<std::uint64_t> spd_cholesky_failures{0};
+  std::atomic<std::uint64_t> spd_bump_recoveries{0};
+  std::atomic<std::uint64_t> spd_lu_fallbacks{0};
+
+  /// Raise `last_observed_day` to `day` (monotonic max, relaxed).
+  void note_observed_day(std::uint64_t day) {
+    std::uint64_t seen = last_observed_day.load(std::memory_order_relaxed);
+    while (day > seen && !last_observed_day.compare_exchange_weak(
+                             seen, day, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace iup::serve

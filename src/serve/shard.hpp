@@ -35,6 +35,7 @@
 #include "core/lrr.hpp"
 #include "linalg/matrix.hpp"
 #include "loc/localizer.hpp"
+#include "serve/health.hpp"
 #include "serve/rcu_slot.hpp"
 
 namespace iup::serve {
@@ -126,6 +127,12 @@ class SiteShard {
     return caches_;
   }
 
+  /// Per-site health/diagnostic counters (see serve/health.hpp).  All
+  /// fields are relaxed atomics, so no lock is required from any thread;
+  /// like the published bundle, the counters survive drop_site for
+  /// readers that still hold the shard.
+  SiteHealthCounters& health() const { return health_; }
+
  private:
   void ensure_holds(const std::unique_lock<std::mutex>& lock) const;
 
@@ -133,6 +140,7 @@ class SiteShard {
   RcuSlot<const PublishedSite> published_;
   mutable std::mutex update_mutex_;
   mutable WarmCaches caches_;
+  mutable SiteHealthCounters health_;
 };
 
 }  // namespace iup::serve

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/updater.hpp"
 #include "eval/experiment.hpp"
 #include "test_util.hpp"
@@ -134,6 +136,77 @@ TEST(EngineErrors, DimensionMismatchLeavesStoreUntouched) {
   EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
 
   EXPECT_EQ(engine.store().version_count("office"), 1u);
+}
+
+TEST(EngineErrors, NonFiniteUpdateInputsAreRejectedBeforeAnyMutation) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+  const auto cells = engine.reference_cells("office").value();
+  const auto good = eval::collect_update_request(run, "office", cells, 45);
+
+  for (const double poison : {std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()}) {
+    UpdateRequest bad_xb = good;
+    bad_xb.inputs.x_b(3, 40) = poison;
+    const auto r1 = engine.update(bad_xb);
+    EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+    UpdateRequest bad_xr = good;
+    bad_xr.inputs.x_r(2, 5) = poison;
+    const auto r2 = engine.update(bad_xr);
+    EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Nothing committed, nothing served: still version 1 all the way down.
+  EXPECT_EQ(engine.store().version_count("office"), 1u);
+  EXPECT_EQ(engine.snapshot("office").value()->version(), 1u);
+
+  // The same gate guards registration and the localize read path.
+  linalg::Matrix poisoned = run.ground_truth.at_day(0);
+  poisoned(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(engine.register_site("poisoned", poisoned, run.b_mask)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> query(8, -50.0);
+  query[4] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(engine.localize("office", query).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.localize_batch("office", {query}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineHealth, SiteHealthTracksServingAndUpdateOutcomes) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+  EXPECT_EQ(engine.site_health("nope").status().code(), StatusCode::kNotFound);
+
+  const auto fresh = engine.site_health("office");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().to_string();
+  EXPECT_EQ(fresh.value().state, serve::SiteState::kHealthy);
+  EXPECT_EQ(fresh.value().serving_version, 1u);
+  EXPECT_EQ(fresh.value().latest_version, 1u);
+  EXPECT_EQ(fresh.value().updates_ok, 0u);
+  EXPECT_EQ(fresh.value().updates_failed, 0u);
+
+  const auto cells = engine.reference_cells("office").value();
+  ASSERT_TRUE(
+      engine.update(eval::collect_update_request(run, "office", cells, 15))
+          .ok());
+  UpdateRequest bad = eval::collect_update_request(run, "office", cells, 45);
+  bad.inputs.x_b(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(engine.update(bad).ok());
+
+  const auto after = engine.site_health("office").value();
+  EXPECT_EQ(after.serving_version, 2u);
+  EXPECT_EQ(after.latest_version, 2u);
+  EXPECT_EQ(after.serving_day, 15u);
+  EXPECT_EQ(after.updates_ok, 1u);
+  EXPECT_EQ(after.updates_failed, 1u);
+  // No observations streamed yet: no staleness to report.
+  EXPECT_EQ(after.staleness_days, 0u);
+  EXPECT_EQ(after.quarantined_total(), 0u);
 }
 
 TEST(EngineErrors, EmptyReferenceSetIsRejected) {

@@ -124,6 +124,61 @@ TEST(ServePublication, EvictedVersionKeepsServingPinnedReaders) {
   EXPECT_EQ(est.score, expected.score);
 }
 
+// Satellite regression for the failure path of publication: an update
+// that dies MID-BUILD — after the solve and correlation refresh, at the
+// before_publish seam, i.e. with the next bundle's ingredients already
+// computed — must leave the served bundle untouched: same object, same
+// version, bit-identical localize results.  Readers can never observe a
+// partially-published version because a failed build never reaches the
+// publish store at all.
+TEST(ServePublication, FailedMidBuildUpdateLeavesOldBundleServedBitIdentically) {
+  const auto& run = iup::test::office_run();
+  std::atomic<bool> fail_publish{false};
+  std::atomic<std::uint64_t> consulted{0};
+  UpdateHooks hooks;
+  hooks.before_publish =
+      [&](std::chrono::nanoseconds) -> Status {
+    consulted.fetch_add(1);
+    if (fail_publish.load()) {
+      return Status::unavailable("injected mid-build failure");
+    }
+    return {};
+  };
+  Engine engine = office_engine(run, EngineConfig().update_hooks(hooks));
+
+  const auto before = engine.published("office").value();
+  const auto query = office_queries(run, 1, "serve-midbuild").front();
+  const auto est_before = before->localizer->localize(query);
+
+  fail_publish.store(true);
+  const auto cells = engine.reference_cells("office").value();
+  const auto failed =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(consulted.load(), 1u);  // the build really ran to the seam
+
+  // Old bundle: same object, same version, nothing committed.
+  const auto after = engine.published("office").value();
+  EXPECT_EQ(after.get(), before.get());
+  EXPECT_EQ(after->snapshot->version(), 1u);
+  EXPECT_EQ(engine.store().version_count("office"), 1u);
+  const auto est_after = after->localizer->localize(query);
+  EXPECT_EQ(est_after.cell, est_before.cell);
+  EXPECT_EQ(est_after.score, est_before.score);  // bitwise, not approx
+
+  // The health surface saw the failure; the serve surface did not.
+  const auto health = engine.site_health("office").value();
+  EXPECT_EQ(health.updates_failed, 1u);
+  EXPECT_EQ(health.serving_version, 1u);
+
+  // Hook released: the very next update publishes normally.
+  fail_publish.store(false);
+  const auto ok =
+      engine.update(eval::collect_update_request(run, "office", cells, 15));
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(engine.published("office").value()->snapshot->version(), 2u);
+}
+
 // N reader threads localize continuously while a writer commits M updates
 // (with a tight history limit, so evictions happen underneath the
 // readers).  Every result must bit-match a serial localize against the

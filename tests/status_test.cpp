@@ -1,0 +1,72 @@
+// Status / StatusCode surface: every code round-trips through its string
+// name, and every factory tags its code correctly.
+#include "api/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iup::api {
+namespace {
+
+const std::vector<StatusCode>& all_codes() {
+  static const std::vector<StatusCode> codes = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,
+      StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted,
+  };
+  return codes;
+}
+
+TEST(StatusCodes, EveryCodeRoundTripsThroughItsName) {
+  for (const StatusCode code : all_codes()) {
+    const std::string_view name = to_string(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "UNKNOWN") << static_cast<int>(code);
+    const auto back = status_code_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, code) << name;
+  }
+  // Names are distinct (a collision would alias two codes on the wire).
+  for (const StatusCode a : all_codes()) {
+    for (const StatusCode b : all_codes()) {
+      if (a != b) EXPECT_NE(to_string(a), to_string(b));
+    }
+  }
+  EXPECT_FALSE(status_code_from_string("UNKNOWN").has_value());
+  EXPECT_FALSE(status_code_from_string("").has_value());
+  EXPECT_FALSE(status_code_from_string("ok").has_value());
+}
+
+TEST(StatusCodes, NewRobustnessCodesHaveTheExpectedNames) {
+  EXPECT_EQ(to_string(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(to_string(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusFactories, EveryFactoryTagsItsCode) {
+  EXPECT_EQ(Status::invalid_argument("m").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::not_found("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::failed_precondition("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::internal("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::unavailable("m").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::deadline_exceeded("m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::resource_exhausted("m").code(),
+            StatusCode::kResourceExhausted);
+
+  const Status s = Status::resource_exhausted("buffer full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.to_string(), "RESOURCE_EXHAUSTED: buffer full");
+  EXPECT_EQ(Status().to_string(), "OK");
+}
+
+}  // namespace
+}  // namespace iup::api
