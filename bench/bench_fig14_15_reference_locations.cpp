@@ -3,7 +3,7 @@
 // adding one more helps little, and random selections need many more.
 #include "bench_common.hpp"
 
-#include "core/updater.hpp"
+#include "api/engine.hpp"
 #include "rng/rng.hpp"
 
 int main() {
@@ -16,8 +16,10 @@ int main() {
   eval::EnvironmentRun run(sim::make_office_testbed());
   const auto& x0 = run.ground_truth.at_day(0);
 
-  core::IUpdater base(x0, run.b_mask);
-  const auto mic_cells = base.reference_cells();
+  api::Engine base;
+  eval::register_run(base, run, "office");
+  const auto mic_cells =
+      to_raw_cells(base.reference_cells("office").value());
 
   rng::Rng rng(2024);
   std::vector<std::size_t> seven(mic_cells.begin(), mic_cells.end() - 1);
@@ -41,11 +43,13 @@ int main() {
   std::printf("reconstruction-error CDF at 45 days [dB]:\n");
   std::vector<double> medians;
   for (const auto& cfg : configs) {
-    core::IUpdater updater(x0, run.b_mask);
-    updater.set_reference_cells(cfg.cells);
-    const auto inputs = eval::collect_update_inputs(run, cfg.cells, 45);
-    const auto rep = updater.reconstruct(inputs);
-    const auto score = eval::score_reconstruction(run, rep.x_hat, 45);
+    api::Engine engine;
+    eval::register_run(engine, run, "office");
+    (void)engine.set_reference_cells("office", to_cell_ids(cfg.cells));
+    const auto rep = engine.reconstruct(
+        eval::collect_update_request(run, "office", cfg.cells, 45));
+    const auto score =
+        eval::score_reconstruction(run, rep.value().x_hat(), 45);
     bench::print_cdf_row(cfg.label, score.abs_errors_db);
     medians.push_back(score.median_db);
   }
@@ -61,13 +65,15 @@ int main() {
   eval::Table table({"config", "3 days", "5 days", "15 days", "45 days",
                      "3 months"});
   for (const auto& cfg : configs) {
-    core::IUpdater updater(x0, run.b_mask);
-    updater.set_reference_cells(cfg.cells);
+    api::Engine engine;
+    eval::register_run(engine, run, "office");
+    (void)engine.set_reference_cells("office", to_cell_ids(cfg.cells));
     std::vector<double> means;
     for (std::size_t day : sim::paper_update_stamps()) {
-      const auto inputs = eval::collect_update_inputs(run, cfg.cells, day);
-      const auto rep = updater.reconstruct(inputs);
-      means.push_back(eval::score_reconstruction(run, rep.x_hat, day).mean_db);
+      const auto rep = engine.reconstruct(
+          eval::collect_update_request(run, "office", cfg.cells, day));
+      means.push_back(
+          eval::score_reconstruction(run, rep.value().x_hat(), day).mean_db);
     }
     table.add_row(cfg.label, means);
   }

@@ -4,7 +4,7 @@
 // short-term RSS variation.
 #include "bench_common.hpp"
 
-#include "core/updater.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace iup;
@@ -26,13 +26,15 @@ int main() {
 
   for (auto& room : rooms) {
     eval::EnvironmentRun run(std::move(room.testbed));
-    const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
+    api::Engine engine;
+    eval::register_run(engine, run, "room");
+    const auto cells = engine.reference_cells("room").value();
     std::vector<double> means;
     for (std::size_t day : sim::paper_update_stamps()) {
-      const auto inputs =
-          eval::collect_update_inputs(run, updater.reference_cells(), day);
-      const auto rep = updater.reconstruct(inputs);
-      means.push_back(eval::score_reconstruction(run, rep.x_hat, day).mean_db);
+      const auto rep = engine.reconstruct(
+          eval::collect_update_request(run, "room", cells, day));
+      means.push_back(
+          eval::score_reconstruction(run, rep.value().x_hat(), day).mean_db);
     }
     table.add_row(room.label, means);
   }

@@ -4,7 +4,7 @@
 // reconstruction alone improves RASS by ~50%.
 #include "bench_common.hpp"
 
-#include "core/updater.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace iup;
@@ -15,17 +15,19 @@ int main() {
 
   eval::EnvironmentRun run(sim::make_office_testbed());
   const auto& x0 = run.ground_truth.at_day(0);
-  const core::IUpdater updater(x0, run.b_mask);
+  api::Engine engine;
+  eval::register_run(engine, run, "office");
+  const auto cells = engine.reference_cells("office").value();
 
   // Fig. 23: CDF at 45 days.
   {
-    const auto inputs =
-        eval::collect_update_inputs(run, updater.reference_cells(), 45);
-    const auto rep = updater.reconstruct(inputs);
+    const auto rep = engine.reconstruct(
+        eval::collect_update_request(run, "office", cells, 45));
+    const auto& x_hat = rep.value().x_hat();
     const auto iup_err = eval::localization_errors(
-        run, rep.x_hat, eval::LocalizerKind::kOmp, 45, 5, 3);
+        run, x_hat, eval::LocalizerKind::kOmp, 45, 5, 3);
     const auto rass_rec = eval::localization_errors(
-        run, rep.x_hat, eval::LocalizerKind::kRass, 45, 5, 3);
+        run, x_hat, eval::LocalizerKind::kRass, 45, 5, 3);
     const auto rass_stale = eval::localization_errors(
         run, x0, eval::LocalizerKind::kRass, 45, 5, 3);
     std::printf("office, 45 days, localization error CDF [m]:\n");
@@ -46,13 +48,13 @@ int main() {
                      "3 months"});
   std::vector<double> iup_m, rec_m, stale_m;
   for (std::size_t day : sim::paper_update_stamps()) {
-    const auto inputs =
-        eval::collect_update_inputs(run, updater.reference_cells(), day);
-    const auto rep = updater.reconstruct(inputs);
+    const auto rep = engine.reconstruct(
+        eval::collect_update_request(run, "office", cells, day));
+    const auto& x_hat = rep.value().x_hat();
     iup_m.push_back(eval::mean_of(eval::localization_errors(
-        run, rep.x_hat, eval::LocalizerKind::kOmp, day, 5)));
+        run, x_hat, eval::LocalizerKind::kOmp, day, 5)));
     rec_m.push_back(eval::mean_of(eval::localization_errors(
-        run, rep.x_hat, eval::LocalizerKind::kRass, day, 5)));
+        run, x_hat, eval::LocalizerKind::kRass, day, 5)));
     stale_m.push_back(eval::mean_of(eval::localization_errors(
         run, x0, eval::LocalizerKind::kRass, day, 5)));
   }

@@ -59,11 +59,12 @@ BENCHMARK(BM_LrrCorrelation);
 
 void BM_FullUpdate(benchmark::State& state) {
   const auto& run = office();
-  const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
-  const auto inputs =
-      eval::collect_update_inputs(run, updater.reference_cells(), 45);
+  api::Engine engine;
+  eval::register_run(engine, run, "office");
+  const auto cells = engine.reference_cells("office").value();
+  const auto request = eval::collect_update_request(run, "office", cells, 45);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(updater.reconstruct(inputs));
+    benchmark::DoNotOptimize(engine.reconstruct(request));
   }
 }
 BENCHMARK(BM_FullUpdate);
@@ -73,23 +74,22 @@ BENCHMARK(BM_FullUpdate);
 // criteria track, higher args exercise the iup::parallel fan-out.
 void BM_Algorithm1Sweep(benchmark::State& state) {
   const auto& run = office();
-  core::UpdaterConfig config;
-  config.rsvd.threads = static_cast<std::size_t>(state.range(0));
-  const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask,
-                               config);
-  const auto inputs =
-      eval::collect_update_inputs(run, updater.reference_cells(), 45);
-  core::UpdateReport last;
+  api::Engine engine(api::EngineConfig().threads(
+      static_cast<std::size_t>(state.range(0))));
+  eval::register_run(engine, run, "office");
+  const auto cells = engine.reference_cells("office").value();
+  const auto request = eval::collect_update_request(run, "office", cells, 45);
+  api::Result<api::UpdateResult> last = api::Status::internal("never ran");
   for (auto _ : state) {
-    last = updater.reconstruct(inputs);
+    last = engine.reconstruct(request);
     benchmark::DoNotOptimize(last);
   }
   // Mask-group coverage of the R-update (how many multi-RHS groups the
   // sweep factors once, and how many grid columns they cover).
   state.counters["mask_groups"] =
-      static_cast<double>(last.solver.mask_groups);
+      static_cast<double>(last.value().solver.mask_groups);
   state.counters["grouped_columns"] =
-      static_cast<double>(last.solver.grouped_columns);
+      static_cast<double>(last.value().solver.grouped_columns);
 }
 BENCHMARK(BM_Algorithm1Sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -313,19 +313,19 @@ BENCHMARK(BM_SpdSolveMulti)->Arg(4)->Arg(16);
 // against the default 60-sweep trajectory.
 void BM_FullUpdateStagnation(benchmark::State& state) {
   const auto& run = office();
-  core::UpdaterConfig config;
-  config.rsvd.stagnation_tol = 1e-3;
-  const core::IUpdater updater(run.ground_truth.at_day(0), run.b_mask,
-                               config);
-  const auto inputs =
-      eval::collect_update_inputs(run, updater.reference_cells(), 45);
-  core::UpdateReport last;
+  core::RsvdOptions rsvd;
+  rsvd.stagnation_tol = 1e-3;
+  api::Engine engine(api::EngineConfig().rsvd(rsvd));
+  eval::register_run(engine, run, "office");
+  const auto cells = engine.reference_cells("office").value();
+  const auto request = eval::collect_update_request(run, "office", cells, 45);
+  api::Result<api::UpdateResult> last = api::Status::internal("never ran");
   for (auto _ : state) {
-    last = updater.reconstruct(inputs);
+    last = engine.reconstruct(request);
     benchmark::DoNotOptimize(last);
   }
   state.counters["iterations"] =
-      static_cast<double>(last.solver.iterations);
+      static_cast<double>(last.value().solver.iterations);
 }
 BENCHMARK(BM_FullUpdateStagnation);
 

@@ -7,8 +7,8 @@
 // without the updates and what each visit costs in labor.
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "baselines/traditional.hpp"
-#include "core/updater.hpp"
 #include "eval/experiment.hpp"
 
 int main() {
@@ -17,10 +17,12 @@ int main() {
 
   eval::EnvironmentRun run(sim::make_hall_testbed());
   const auto& x0 = run.ground_truth.at_day(0);
-  core::IUpdater updater(x0, run.b_mask);
+  api::Engine engine;
+  eval::register_run(engine, run, "hall");
+  const auto cells = engine.reference_cells("hall").value();
 
-  const double visit_cost_s = baselines::iupdater_update_time_s(
-      updater.reference_cells().size(), 5);
+  const double visit_cost_s =
+      baselines::iupdater_update_time_s(cells.size(), 5);
   const double full_cost_s =
       baselines::traditional_update_time_s(run.testbed.num_cells(), 50);
 
@@ -28,18 +30,17 @@ int main() {
               "surveys %zu reference locations (%.0f s vs %.0f min for a "
               "full re-survey)\n\n",
               run.testbed.num_links(), run.testbed.num_cells(),
-              updater.reference_cells().size(), visit_cost_s,
-              full_cost_s / 60.0);
+              cells.size(), visit_cost_s, full_cost_s / 60.0);
 
   std::printf("%-10s %-26s %-26s\n", "day", "median error, maintained [m]",
               "median error, neglected [m]");
   for (std::size_t day : sim::paper_update_stamps()) {
     // Maintained: sequential updates at every stamp (the database carries
     // over between visits).
-    const auto rep = updater.update(
-        eval::collect_update_inputs(run, updater.reference_cells(), day));
+    const auto rep = engine.update(
+        eval::collect_update_request(run, "hall", cells, day));
     const auto maintained = eval::localization_errors(
-        run, rep.x_hat, eval::LocalizerKind::kOmp, day, 3);
+        run, rep.value().x_hat(), eval::LocalizerKind::kOmp, day, 3);
     const auto neglected = eval::localization_errors(
         run, x0, eval::LocalizerKind::kOmp, day, 3);
     std::printf("%-10zu %-26.2f %-26.2f\n", day,

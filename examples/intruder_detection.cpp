@@ -7,7 +7,7 @@
 // database (one 55-second reference survey).
 #include <cstdio>
 
-#include "core/updater.hpp"
+#include "api/engine.hpp"
 #include "eval/experiment.hpp"
 #include "geom/geometry.hpp"
 #include "loc/omp.hpp"
@@ -22,11 +22,13 @@ int main() {
   const std::size_t day = 45;
 
   // Low-cost update: visit the 8 reference locations once.
-  core::IUpdater updater(x0, run.b_mask);
-  const auto report = updater.update(
-      eval::collect_update_inputs(run, updater.reference_cells(), day));
+  api::Engine engine;
+  eval::register_run(engine, run, "office");
+  const auto cells = engine.reference_cells("office").value();
+  const auto report = engine.update(
+      eval::collect_update_request(run, "office", cells, day));
 
-  const loc::OmpLocalizer fresh(report.x_hat, {});
+  const loc::OmpLocalizer fresh(report.value().x_hat(), {});
   const loc::OmpLocalizer stale(x0, {});
 
   // The intruder walks along link 4's corridor, one grid cell per step.
@@ -56,6 +58,6 @@ int main() {
               err_fresh / static_cast<double>(steps),
               err_stale / static_cast<double>(steps));
   std::printf("update labor: %zu reference locations, ~55 s of surveying\n",
-              report.reference_count);
+              report.value().reference_count);
   return 0;
 }

@@ -33,7 +33,7 @@ int main() {
   }
   const auto cells = engine.reference_cells("office").value();
   std::printf("reference locations (%zu):", cells.size());
-  for (std::size_t c : cells) std::printf(" %zu", c);
+  for (CellId c : cells) std::printf(" %zu", c.value());
   std::printf("\n");
 
   // --- low-cost updates at three timestamps, as one batch -------------

@@ -1,0 +1,71 @@
+// Trace replay: run the full ingest -> update -> localize -> CDF pipeline
+// from recorded CSV files.  This is the binary CI runs end to end on the
+// checked-in miniature dataset (data/traces/mini/): any Status error or a
+// non-finite CDF point is a nonzero exit.
+//
+//   trace_replay <fingerprint.csv> <observations.csv> <queries.csv>
+#include <cmath>
+#include <cstdio>
+
+#include "api/engine.hpp"
+#include "trace/replay.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iup;
+
+  if (argc != 4) {
+    std::fprintf(
+        stderr,
+        "usage: %s <fingerprint.csv> <observations.csv> <queries.csv>\n",
+        argv[0]);
+    return 2;
+  }
+
+  api::Engine engine;
+  const auto report =
+      trace::run_replay_files(engine, argv[1], argv[2], argv[3]);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  const trace::ReplayReport& r = report.value();
+
+  std::printf("replay: %zu observations accepted, %zu quarantined, "
+              "%zu updates committed (%zu skipped), final snapshot v%llu\n",
+              r.observations_accepted, r.observations_quarantined,
+              r.updates_committed, r.updates_skipped,
+              static_cast<unsigned long long>(r.final_version));
+
+  if (r.localization_errors_m.empty()) {
+    std::fprintf(stderr, "no localization queries were scored\n");
+    return 1;
+  }
+  for (const double e : r.localization_errors_m) {
+    if (!std::isfinite(e)) {
+      std::fprintf(stderr, "non-finite localization error in the CDF\n");
+      return 1;
+    }
+  }
+  const auto cdf = r.error_cdf();
+  std::printf("localization error over %zu queries: median %.3f m, "
+              "mean %.3f m, p90 %.3f m\n",
+              cdf.size(), cdf.median(), cdf.mean(), cdf.percentile(0.9));
+  std::printf("%s", cdf.render(11, "m").c_str());
+
+  const auto health = engine.site_health("replay");
+  if (!health.ok()) {
+    std::fprintf(stderr, "site_health failed: %s\n",
+                 health.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("site health: %llu accepted, %llu quarantined, "
+              "last observed day %llu\n",
+              static_cast<unsigned long long>(
+                  health.value().observations_accepted),
+              static_cast<unsigned long long>(
+                  health.value().quarantined_total()),
+              static_cast<unsigned long long>(
+                  health.value().last_observed_day));
+  return 0;
+}

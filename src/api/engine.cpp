@@ -144,6 +144,14 @@ Result<std::shared_ptr<const loc::Localizer>> Engine::build_localizer(
 Result<SnapshotPtr> Engine::register_site(std::string site,
                                           linalg::Matrix x_original,
                                           linalg::Matrix b_mask) {
+  return register_site(std::move(site), std::move(x_original),
+                       std::move(b_mask), {});
+}
+
+Result<SnapshotPtr> Engine::register_site(std::string site,
+                                          linalg::Matrix x_original,
+                                          linalg::Matrix b_mask,
+                                          std::vector<SourceInfo> sources) {
   if (site.empty()) {
     return Status::invalid_argument("register_site: empty site name");
   }
@@ -173,6 +181,33 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
   if (!all_finite(x_original) || !all_finite(b_mask)) {
     return Status::invalid_argument(
         "register_site: survey matrix contains non-finite entries");
+  }
+  // Source-table hygiene (multi-radio model): one entry per link, every
+  // id specified and unique.  An empty table is the legacy degenerate
+  // case — single technology, no source validation anywhere downstream.
+  if (!sources.empty()) {
+    if (sources.size() != x_original.rows()) {
+      return Status::invalid_argument(
+          "register_site: source table has " +
+          std::to_string(sources.size()) + " entries but the site has " +
+          std::to_string(x_original.rows()) + " links");
+    }
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i].id.specified()) {
+        return Status::invalid_argument(
+            "register_site: source for link " + std::to_string(i) +
+            " has an unspecified id");
+      }
+      const auto [it, fresh] = seen.try_emplace(sources[i].id.value(), i);
+      if (!fresh) {
+        return Status::invalid_argument(
+            "register_site: source id " +
+            std::to_string(sources[i].id.value()) +
+            " is registered for both link " + std::to_string(it->second) +
+            " and link " + std::to_string(i));
+      }
+    }
   }
   const core::BandLayout layout = core::band_layout_of(x_original);
 
@@ -216,7 +251,7 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
     auto snapshot = std::make_shared<FingerprintSnapshot>(
         site, store_.next_version(site), std::move(x_original),
         std::move(b_mask), layout, std::move(mic.reference_cells),
-        std::move(z));
+        std::move(z), /*day=*/0, std::move(sources));
     if (const Status put = store_.put(snapshot); !put.ok()) return put;
     version = snapshot->version();
     published = snapshot;
@@ -309,15 +344,39 @@ Result<SnapshotPtr> Engine::snapshot(const std::string& site,
   return store_.at_version(site, version);
 }
 
-Result<std::vector<std::size_t>> Engine::reference_cells(
+Result<std::vector<CellId>> Engine::reference_cells(
+    const std::string& site) const {
+  Result<SnapshotPtr> latest = snapshot(site);
+  if (!latest.ok()) return latest.status();
+  return to_cell_ids(latest.value()->reference_cells());
+}
+
+Result<std::vector<std::size_t>> Engine::reference_cell_indices(
     const std::string& site) const {
   Result<SnapshotPtr> latest = snapshot(site);
   if (!latest.ok()) return latest.status();
   return latest.value()->reference_cells();
 }
 
+Result<std::vector<SourceInfo>> Engine::sources(
+    const std::string& site) const {
+  Result<SnapshotPtr> latest = snapshot(site);
+  if (!latest.ok()) return latest.status();
+  return latest.value()->sources();
+}
+
+Status Engine::set_reference_cells(const std::string& site,
+                                   std::vector<CellId> cells) {
+  return set_reference_cells_impl(site, to_raw_cells(cells));
+}
+
 Status Engine::set_reference_cells(const std::string& site,
                                    std::vector<std::size_t> cells) {
+  return set_reference_cells_impl(site, std::move(cells));
+}
+
+Status Engine::set_reference_cells_impl(const std::string& site,
+                                        std::vector<std::size_t> cells) {
   Result<SnapshotPtr> latest = snapshot(site);
   if (!latest.ok()) return latest.status();
   const SnapshotPtr& snap = latest.value();
@@ -359,7 +418,8 @@ Status Engine::set_reference_cells(const std::string& site,
     }
     auto next = std::make_shared<FingerprintSnapshot>(
         site, snap->version() + 1, snap->database(), snap->mask(),
-        snap->layout(), std::move(cells), std::move(z), snap->day());
+        snap->layout(), std::move(cells), std::move(z), snap->day(),
+        snap->sources());
     if (const Status put = store_.put(next); !put.ok()) return put;
     version = next->version();
     if (const auto shard = shards_->find(site); shard != nullptr) {
@@ -405,6 +465,36 @@ Result<UpdateResult> Engine::solve_request(const FingerprintSnapshot& snap,
   if (!all_finite(inputs.x_r)) {
     return Status::invalid_argument(
         "update: X_R contains non-finite RSS values");
+  }
+  // Source-provenance check: inputs that declare where their rows came
+  // from must agree with the site's registered table link by link (a row
+  // swap between technologies is undetectable numerically but corrupts
+  // the fingerprint semantics).  Unattributed inputs (empty) are accepted
+  // for compatibility with pre-source measurement campaigns.
+  if (!inputs.sources.empty()) {
+    const std::vector<SourceInfo>& registered = snap.sources();
+    if (registered.empty()) {
+      return Status::invalid_argument(
+          "update: inputs carry a source table but site '" + snap.site() +
+          "' was registered without one");
+    }
+    if (inputs.sources.size() != registered.size()) {
+      return Status::invalid_argument(
+          "update: inputs carry " + std::to_string(inputs.sources.size()) +
+          " sources but site '" + snap.site() + "' registered " +
+          std::to_string(registered.size()));
+    }
+    for (std::size_t i = 0; i < registered.size(); ++i) {
+      if (inputs.sources[i] != registered[i]) {
+        return Status::invalid_argument(
+            "update: source for link " + std::to_string(i) + " is id " +
+            std::to_string(inputs.sources[i].id.value()) + " (" +
+            std::string(to_string(inputs.sources[i].technology)) +
+            ") but site '" + snap.site() + "' registered id " +
+            std::to_string(registered[i].id.value()) + " (" +
+            std::string(to_string(registered[i].technology)) + ")");
+      }
+    }
   }
   // Fault-injection / chaos seam: a non-OK on_solve hook IS a solver
   // failure as far as every caller can tell (empty by default).
@@ -530,6 +620,7 @@ Result<SiteHealth> Engine::site_health(const std::string& site) const {
   out.quarantine_out_of_range = get(h.quarantine_out_of_range);
   out.quarantine_unknown_link = get(h.quarantine_unknown_link);
   out.quarantine_unknown_cell = get(h.quarantine_unknown_cell);
+  out.quarantine_unknown_source = get(h.quarantine_unknown_source);
   out.quarantine_overflow = get(h.quarantine_overflow);
   out.spd_cholesky_failures = get(h.spd_cholesky_failures);
   out.spd_bump_recoveries = get(h.spd_bump_recoveries);
@@ -627,7 +718,8 @@ Result<UpdateResult> Engine::update_impl(const UpdateRequest& request) {
     }
     auto next = std::make_shared<FingerprintSnapshot>(
         request.site, snap->version() + 1, result.solver.x_hat, snap->mask(),
-        snap->layout(), std::move(cells), std::move(z), request.day);
+        snap->layout(), std::move(cells), std::move(z), request.day,
+        snap->sources());
     if (const Status put = store_.put(next); !put.ok()) return put;
     if (const auto shard = shards_->emplace(request.site); shard != nullptr) {
       // Published under the commit lock so versions can never publish out

@@ -48,6 +48,7 @@
 #include "api/engine_config.hpp"
 #include "api/snapshot.hpp"
 #include "api/status.hpp"
+#include "base/ids.hpp"
 #include "core/updater.hpp"
 #include "linalg/cholesky.hpp"
 #include "loc/localizer.hpp"
@@ -56,6 +57,14 @@
 #include "serve/shard.hpp"
 
 namespace iup::api {
+
+// API v2 vocabulary (base/ids.hpp), re-exported so callers can spell the
+// typed identifiers as api::CellId etc. next to the Engine they feed.
+using iup::CellId;
+using iup::LinkId;
+using iup::SourceId;
+using iup::SourceInfo;
+using iup::Technology;
 
 /// One low-cost update: fresh measurements for one site at one timestamp.
 struct UpdateRequest {
@@ -95,11 +104,12 @@ struct SiteHealth {
   std::uint64_t quarantine_out_of_range = 0;
   std::uint64_t quarantine_unknown_link = 0;
   std::uint64_t quarantine_unknown_cell = 0;
+  std::uint64_t quarantine_unknown_source = 0;
   std::uint64_t quarantine_overflow = 0;
   std::uint64_t quarantined_total() const {
     return quarantine_non_finite + quarantine_out_of_range +
            quarantine_unknown_link + quarantine_unknown_cell +
-           quarantine_overflow;
+           quarantine_unknown_source + quarantine_overflow;
   }
 
   /// Per-site SPD fallback attribution (see serve/health.hpp for the
@@ -145,6 +155,18 @@ class Engine {
   Result<SnapshotPtr> register_site(std::string site,
                                     linalg::Matrix x_original,
                                     linalg::Matrix b_mask);
+  /// Multi-radio registration: as above, plus the site's per-link source
+  /// table — entry i names the transmitter behind fingerprint row i and
+  /// its technology (WiFi AP / BLE beacon / LoRa node).  `sources` must
+  /// be empty (legacy: source validation disabled) or have exactly one
+  /// entry per link, every id specified and unique.  The table is carried
+  /// immutably through every snapshot version the site commits, and
+  /// enforced against UpdateInputs::sources and (through the supervisor's
+  /// ObservationBuffer) every streamed observation.
+  Result<SnapshotPtr> register_site(std::string site,
+                                    linalg::Matrix x_original,
+                                    linalg::Matrix b_mask,
+                                    std::vector<SourceInfo> sources);
   Status drop_site(const std::string& site);
 
   /// Attach deployment geometry (cell centres) to a registered site; the
@@ -158,12 +180,24 @@ class Engine {
   Result<SnapshotPtr> snapshot(const std::string& site) const;
   Result<SnapshotPtr> snapshot(const std::string& site,
                                std::uint64_t version) const;
-  Result<std::vector<std::size_t>> reference_cells(
+  /// The grid cells a surveyor must visit for the next update, as typed
+  /// CellIds (API v2; use CellId::value() at the numeric boundary).
+  Result<std::vector<CellId>> reference_cells(const std::string& site) const;
+  /// Raw-index variant kept for one release while callers migrate.
+  [[deprecated("use reference_cells() which returns typed CellIds")]]
+  Result<std::vector<std::size_t>> reference_cell_indices(
       const std::string& site) const;
   /// Override the reference set (benches evaluate 7 / 8+1 / random sets);
   /// commits a new snapshot version with the re-acquired correlation.
   Status set_reference_cells(const std::string& site,
+                             std::vector<CellId> cells);
+  /// Raw-index variant kept for one release while callers migrate.
+  [[deprecated("pass typed CellIds (iup::to_cell_ids bridges raw indices)")]]
+  Status set_reference_cells(const std::string& site,
                              std::vector<std::size_t> cells);
+  /// The site's registered per-link source table; empty for legacy
+  /// single-technology registrations.
+  Result<std::vector<SourceInfo>> sources(const std::string& site) const;
 
   // --- updates ---------------------------------------------------------
   /// Reconstruct against the latest snapshot without committing.
@@ -228,6 +262,11 @@ class Engine {
   Result<SiteHealth> site_health(const std::string& site) const;
 
  private:
+  /// Shared body of both set_reference_cells overloads (raw indices are
+  /// the numeric core's vocabulary).
+  Status set_reference_cells_impl(const std::string& site,
+                                  std::vector<std::size_t> cells);
+
   /// Validate `request` against `snapshot` and run the solver, seeding it
   /// from the shard's warm-start cache when the cached version matches.
   Result<UpdateResult> solve_request(const FingerprintSnapshot& snapshot,

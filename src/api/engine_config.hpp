@@ -99,8 +99,8 @@ class EngineConfig {
   /// never leak across reference sets.  Changes refreshed Z values at
   /// iterate level (same fixed point within the ADMM tolerance); results
   /// remain bit-identical across thread counts and across engines
-  /// replaying the same request sequence.  Mirrored by
-  /// UpdaterConfig::lrr_warm_start; set false for cold-refresh numbers.
+  /// replaying the same request sequence.  Set false for cold-refresh
+  /// numbers.
   EngineConfig& lrr_warm_start(bool value) {
     lrr_warm_start_ = value;
     return *this;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "api/status.hpp"
+#include "base/ids.hpp"
 #include "core/fingerprint.hpp"
 #include "linalg/matrix.hpp"
 
@@ -30,7 +31,8 @@ class FingerprintSnapshot {
                       linalg::Matrix database, linalg::Matrix mask,
                       core::BandLayout layout,
                       std::vector<std::size_t> reference_cells,
-                      linalg::Matrix correlation, std::size_t day = 0)
+                      linalg::Matrix correlation, std::size_t day = 0,
+                      std::vector<SourceInfo> sources = {})
       : site_(std::move(site)),
         version_(version),
         day_(day),
@@ -38,7 +40,8 @@ class FingerprintSnapshot {
         mask_(std::move(mask)),
         layout_(layout),
         reference_cells_(std::move(reference_cells)),
-        correlation_(std::move(correlation)) {}
+        correlation_(std::move(correlation)),
+        sources_(std::move(sources)) {}
 
   const std::string& site() const { return site_; }
   /// 1-based, monotonically increasing per site.
@@ -57,6 +60,10 @@ class FingerprintSnapshot {
   }
   /// Inherent correlation matrix Z (n x N, Eq. 12).
   const linalg::Matrix& correlation() const { return correlation_; }
+  /// Per-link source table (one entry per fingerprint row) when the site
+  /// was registered with the multi-radio model; empty for legacy
+  /// single-technology registrations (source validation disabled).
+  const std::vector<SourceInfo>& sources() const { return sources_; }
 
  private:
   std::string site_;
@@ -67,6 +74,7 @@ class FingerprintSnapshot {
   core::BandLayout layout_;
   std::vector<std::size_t> reference_cells_;
   linalg::Matrix correlation_;
+  std::vector<SourceInfo> sources_;
 };
 
 using SnapshotPtr = std::shared_ptr<const FingerprintSnapshot>;

@@ -1,7 +1,7 @@
 // Pluggable reconstruction solvers.
 //
-// The seed hardwired SelfAugmentedRsvd into IUpdater through UpdaterConfig;
-// the engine instead solves through this interface, so ablation variants
+// The seed hardwired SelfAugmentedRsvd into the update path; the engine
+// instead solves through this interface, so ablation variants
 // (basic RSVD, correlation-only, NLC-only, ALS-only) and future backends
 // (other completion solvers, accelerator offload) are a runtime choice.
 // Backends are stateless function objects over a fully-specified

@@ -1,0 +1,188 @@
+// Typed identifiers shared across every layer (API v2 vocabulary).
+//
+// The public surfaces used to pass raw std::size_t for link and cell
+// indices, which made `localize(site, cell)` vs `localize(site, link)`
+// mix-ups compile clean.  These wrappers are implicit-conversion-free:
+// constructing one from an integer is explicit, extracting the raw index
+// is a named call (`value()`), and the types never cross-convert.  They
+// are deliberately a LEAF header (standard library only) so sim/ and
+// linalg-adjacent layers can speak the same vocabulary as api/ without
+// violating the layering in src/CMakeLists.txt.
+//
+// SourceId names the transmitter behind a link — WiFi AP, BLE beacon or
+// LoRa node — mirroring firmware-style `RssiSample{id, rssi}` records:
+// every sample carries the identity of the radio that produced it, and
+// the fingerprint side (SourceInfo) records which technology each link's
+// source speaks.  Single-technology deployments are the degenerate case:
+// every link tagged kWifi, ids equal to link indices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace iup {
+
+/// Radio technology of a fingerprint source (per ROADMAP item 2 /
+/// arXiv:1508.00040's comparison axes).
+enum class Technology : std::uint8_t {
+  kWifi = 0,
+  kBle = 1,
+  kLora = 2,
+};
+
+constexpr std::string_view to_string(Technology technology) {
+  switch (technology) {
+    case Technology::kWifi: return "wifi";
+    case Technology::kBle: return "ble";
+    case Technology::kLora: return "lora";
+  }
+  return "unknown";
+}
+
+/// Inverse of to_string(Technology); returns false on unknown names.
+constexpr bool technology_from_string(std::string_view name,
+                                      Technology& out) {
+  if (name == "wifi") { out = Technology::kWifi; return true; }
+  if (name == "ble") { out = Technology::kBle; return true; }
+  if (name == "lora") { out = Technology::kLora; return true; }
+  return false;
+}
+
+namespace detail {
+
+/// CRTP strong index: explicit construction, named extraction, ordered
+/// comparisons within the same tag only.  Tag types never cross-convert.
+template <typename Tag>
+class StrongIndex {
+ public:
+  constexpr StrongIndex() = default;
+  constexpr explicit StrongIndex(std::size_t value) : value_(value) {}
+
+  constexpr std::size_t value() const { return value_; }
+
+  friend constexpr bool operator==(StrongIndex a, StrongIndex b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongIndex a, StrongIndex b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongIndex a, StrongIndex b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  std::size_t value_ = 0;
+};
+
+}  // namespace detail
+
+/// Row index into the fingerprint matrix: one RF link (TX/RX pair in the
+/// device-free model, one anchor in the device-based model).
+class LinkId : public detail::StrongIndex<LinkId> {
+  using StrongIndex::StrongIndex;
+};
+
+/// Column index into the fingerprint matrix: one grid cell.
+class CellId : public detail::StrongIndex<CellId> {
+  using StrongIndex::StrongIndex;
+};
+
+/// Stable identity of the transmitter behind a link.  Unlike LinkId this
+/// is NOT a matrix index: ids come from the deployment (an AP's chipset
+/// id, a beacon's broadcast id) and survive re-indexing.  The default
+/// constructed value is the explicit "unspecified" sentinel used by
+/// legacy single-technology paths that predate the source model.
+class SourceId {
+ public:
+  static constexpr std::uint64_t kUnspecified = ~std::uint64_t{0};
+
+  constexpr SourceId() = default;
+  constexpr explicit SourceId(std::uint64_t value) : value_(value) {}
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool specified() const { return value_ != kUnspecified; }
+
+  friend constexpr bool operator==(SourceId a, SourceId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(SourceId a, SourceId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(SourceId a, SourceId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  std::uint64_t value_ = kUnspecified;
+};
+
+/// Per-link source record: which transmitter feeds the link and what
+/// radio technology it speaks.  A site's source table has exactly one
+/// entry per fingerprint row (index == link index).
+struct SourceInfo {
+  SourceId id;
+  Technology technology = Technology::kWifi;
+
+  friend constexpr bool operator==(const SourceInfo& a,
+                                   const SourceInfo& b) {
+    return a.id == b.id && a.technology == b.technology;
+  }
+  friend constexpr bool operator!=(const SourceInfo& a,
+                                   const SourceInfo& b) {
+    return !(a == b);
+  }
+};
+
+/// The degenerate single-technology table: link i fed by WiFi source i.
+/// This is what legacy (source-less) registrations are equivalent to.
+inline std::vector<SourceInfo> single_technology_sources(
+    std::size_t links, Technology technology = Technology::kWifi) {
+  std::vector<SourceInfo> sources(links);
+  for (std::size_t i = 0; i < links; ++i) {
+    sources[i] = SourceInfo{SourceId(i), technology};
+  }
+  return sources;
+}
+
+/// Boundary helpers between typed API v2 vocabulary and the raw indices
+/// the numeric core speaks.
+inline std::vector<CellId> to_cell_ids(const std::vector<std::size_t>& raw) {
+  std::vector<CellId> cells;
+  cells.reserve(raw.size());
+  for (std::size_t c : raw) cells.emplace_back(c);
+  return cells;
+}
+
+inline std::vector<std::size_t> to_raw_cells(
+    const std::vector<CellId>& cells) {
+  std::vector<std::size_t> raw;
+  raw.reserve(cells.size());
+  for (CellId c : cells) raw.push_back(c.value());
+  return raw;
+}
+
+}  // namespace iup
+
+template <>
+struct std::hash<iup::LinkId> {
+  std::size_t operator()(iup::LinkId id) const noexcept {
+    return std::hash<std::size_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<iup::CellId> {
+  std::size_t operator()(iup::CellId id) const noexcept {
+    return std::hash<std::size_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<iup::SourceId> {
+  std::size_t operator()(iup::SourceId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

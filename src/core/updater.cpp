@@ -1,7 +1,5 @@
 #include "core/updater.hpp"
 
-#include <stdexcept>
-
 namespace iup::core {
 
 linalg::Matrix acquire_correlation(const MicResult& mic,
@@ -15,90 +13,6 @@ LrrResult acquire_correlation_full(const MicResult& mic,
                                    const LrrOptions& options,
                                    const LrrWarmStart* warm) {
   return solve_lrr(mic.x_mic, x, options, warm);
-}
-
-IUpdater::IUpdater(linalg::Matrix x_original, linalg::Matrix b_mask,
-                   UpdaterConfig config)
-    : config_(std::move(config)),
-      x_latest_(std::move(x_original)),
-      b_(std::move(b_mask)) {
-  if (x_latest_.rows() != b_.rows() || x_latest_.cols() != b_.cols()) {
-    throw std::invalid_argument("IUpdater: X / B shape mismatch");
-  }
-  layout_ = band_layout_of(x_latest_);
-  mic_ = extract_mic(x_latest_, config_.mic_strategy);
-  acquire_correlation();
-}
-
-void IUpdater::store_lrr_state(LrrResult&& result) {
-  z_ = std::move(result.z);
-  if (config_.lrr_warm_start) {
-    lrr_y1_ = std::move(result.y1);
-    lrr_y2_ = std::move(result.y2);
-    lrr_mu_ = result.mu_final;
-  }
-}
-
-void IUpdater::acquire_correlation() {
-  store_lrr_state(acquire_correlation_full(mic_, x_latest_, config_.lrr));
-}
-
-void IUpdater::refresh_correlation() {
-  if (!config_.lrr_warm_start) {
-    acquire_correlation();
-    return;
-  }
-  LrrWarmStart warm;
-  warm.z = z_;
-  warm.y1 = lrr_y1_;
-  warm.y2 = lrr_y2_;
-  warm.mu = lrr_mu_;
-  store_lrr_state(
-      acquire_correlation_full(mic_, x_latest_, config_.lrr, &warm));
-}
-
-void IUpdater::set_reference_cells(const std::vector<std::size_t>& cells) {
-  mic_ = mic_from_cells(x_latest_, cells);
-  acquire_correlation();
-}
-
-UpdateReport IUpdater::reconstruct(const UpdateInputs& inputs) const {
-  if (inputs.x_b.rows() != b_.rows() || inputs.x_b.cols() != b_.cols()) {
-    throw std::invalid_argument("IUpdater::reconstruct: X_B shape mismatch");
-  }
-  if (inputs.x_r.rows() != b_.rows() ||
-      inputs.x_r.cols() != mic_.reference_cells.size()) {
-    throw std::invalid_argument(
-        "IUpdater::reconstruct: X_R must have one fresh column per "
-        "reference location");
-  }
-
-  RsvdProblem problem;
-  problem.x_b = inputs.x_b;
-  problem.b = b_;
-  if (config_.rsvd.use_constraint1) {
-    problem.p = inputs.x_r * z_;  // Constraint-1 prediction X_R * Z
-  }
-
-  const SelfAugmentedRsvd solver(layout_, config_.rsvd);
-  UpdateReport report;
-  report.solver = solver.solve(problem);
-  report.x_hat = report.solver.x_hat;
-  report.reference_count = mic_.reference_cells.size();
-  return report;
-}
-
-UpdateReport IUpdater::update(const UpdateInputs& inputs) {
-  UpdateReport report = reconstruct(inputs);
-
-  // The reconstruction becomes the "latest updated" database; optionally
-  // refresh the MIC/correlation from it for the next cycle.
-  x_latest_ = report.x_hat;
-  if (config_.refresh_correlation) {
-    mic_ = mic_from_cells(x_latest_, mic_.reference_cells);
-    refresh_correlation();
-  }
-  return report;
 }
 
 }  // namespace iup::core

@@ -1,4 +1,4 @@
-// The iUpdater pipeline (Fig. 10): ties the four modules together.
+// The iUpdater pipeline (Fig. 10): shared pieces of the four modules.
 //
 //  1. Inherent Correlation Acquisition — MIC extraction from the original
 //     (or latest updated) fingerprint matrix, then the LRR solve for Z.
@@ -8,20 +8,19 @@
 //  3. Fingerprint Matrix Reconstruction — self-augmented RSVD.
 //  4. Target Localization — see loc/ (OMP) which consumes the result.
 //
-// The class is deliberately stateful across updates: after `update()` the
-// reconstructed matrix becomes the "latest updated" database, exactly as
-// the paper describes re-acquiring the correlation from it next time.
-//
-// DEPRECATED as a service entry point: new code should drive the pipeline
-// through iup::api::Engine (src/api/engine.hpp), which adds versioned
-// snapshots, Status-based error handling, batched updates and pluggable
-// solver backends.  IUpdater remains as a thin single-site shim over the
-// same core modules for existing tests and benches.
+// The pipeline's service entry point is iup::api::Engine
+// (src/api/engine.hpp): versioned snapshots, Status-based error handling,
+// batched updates, warm-start caches and pluggable solver backends.  The
+// pre-Engine IUpdater shim that used to live here was retired once its
+// last callers migrated; what remains is the correlation-acquisition seam
+// the Engine (and tests) drive directly, plus the input/report value
+// types every layer shares.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "base/ids.hpp"
 #include "core/lrr.hpp"
 #include "core/mic.hpp"
 #include "core/rsvd.hpp"
@@ -29,8 +28,8 @@
 
 namespace iup::core {
 
-/// Inherent-correlation acquisition shared by IUpdater and api::Engine:
-/// solve the LRR (Eq. 12) with the MIC columns as dictionary and return Z.
+/// Inherent-correlation acquisition (Eq. 12): solve the LRR with the MIC
+/// columns as dictionary and return Z.
 linalg::Matrix acquire_correlation(const MicResult& mic,
                                    const linalg::Matrix& x,
                                    const LrrOptions& options);
@@ -45,89 +44,20 @@ LrrResult acquire_correlation_full(const MicResult& mic,
                                    const LrrOptions& options,
                                    const LrrWarmStart* warm = nullptr);
 
-struct UpdaterConfig {
-  RsvdOptions rsvd;
-  LrrOptions lrr;
-  MicStrategy mic_strategy = MicStrategy::kQrcp;
-  /// Re-derive Z from each reconstructed matrix so consecutive updates
-  /// track slow structural change (true follows the paper's "original or
-  /// latest updated" phrasing).
-  bool refresh_correlation = true;
-  /// Warm-start each correlation refresh from the previous ADMM state
-  /// (Z + multipliers + penalty) instead of solving cold — roughly halves
-  /// the refresh's iterations on slowly-drifting databases.  Changes the
-  /// refreshed Z at iterate level (same fixed point within tolerance);
-  /// set false to reproduce cold-refresh-era numbers exactly.  Mirrored
-  /// by EngineConfig::lrr_warm_start so Engine and IUpdater stay in exact
-  /// parity.
-  bool lrr_warm_start = true;
-};
-
 struct UpdateInputs {
   linalg::Matrix x_b;  ///< M x N no-decrease measurements (zeros elsewhere)
   linalg::Matrix x_r;  ///< M x n fresh reference-location survey (Eq. 13)
+  /// Per-link source provenance of the measurement campaign (one entry
+  /// per row of x_b / x_r), empty when unattributed.  The numeric core
+  /// ignores it; api::Engine rejects inputs whose provenance disagrees
+  /// with the site's registered source table.
+  std::vector<SourceInfo> sources;
 };
 
 struct UpdateReport {
   linalg::Matrix x_hat;          ///< reconstructed fingerprint matrix
   RsvdResult solver;             ///< factors + objective history
   std::size_t reference_count = 0;
-};
-
-class IUpdater {
- public:
-  /// `x_original` is the full fingerprint matrix from the initial site
-  /// survey; `b_mask` the 0/1 no-decrease index matrix (Eq. 8).
-  IUpdater(linalg::Matrix x_original, linalg::Matrix b_mask,
-           UpdaterConfig config = {});
-
-  /// The grid cells a surveyor must visit for every update.
-  const std::vector<std::size_t>& reference_cells() const {
-    return mic_.reference_cells;
-  }
-
-  /// Override the reference set (benchmarks evaluate 7 / 8+1 / random
-  /// sets); recomputes the correlation matrix from the current database.
-  void set_reference_cells(const std::vector<std::size_t>& cells);
-
-  /// Inherent correlation matrix Z (n x N).
-  const linalg::Matrix& correlation() const { return z_; }
-
-  /// Latest database (original until the first update).
-  const linalg::Matrix& database() const { return x_latest_; }
-
-  const linalg::Matrix& mask() const { return b_; }
-  const UpdaterConfig& config() const { return config_; }
-
-  /// Reconstruct the full matrix from fresh measurements without mutating
-  /// the stored database (benchmarks evaluate several time stamps against
-  /// the same original correlation).
-  UpdateReport reconstruct(const UpdateInputs& inputs) const;
-
-  /// Reconstruct and commit: the result becomes the latest database and,
-  /// when `refresh_correlation` is set, the correlation is re-acquired.
-  UpdateReport update(const UpdateInputs& inputs);
-
- private:
-  /// Cold acquisition (construction, reference-set changes): solves from
-  /// scratch and replaces the cached ADMM state.
-  void acquire_correlation();
-  /// Post-update refresh: warm-starts from {z_, multiplier state} when
-  /// config_.lrr_warm_start is set, cold otherwise.
-  void refresh_correlation();
-  void store_lrr_state(LrrResult&& result);
-
-  UpdaterConfig config_;
-  linalg::Matrix x_latest_;
-  linalg::Matrix b_;
-  BandLayout layout_;
-  MicResult mic_;
-  linalg::Matrix z_;
-  /// ADMM multiplier state of the solve that produced z_ (z field unused;
-  /// z_ itself seeds the next warm restart).
-  linalg::Matrix lrr_y1_;
-  linalg::Matrix lrr_y2_;
-  double lrr_mu_ = 0.0;
 };
 
 }  // namespace iup::core

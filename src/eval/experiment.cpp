@@ -28,6 +28,14 @@ core::UpdateInputs collect_update_inputs(
   return inputs;
 }
 
+core::UpdateInputs collect_update_inputs(
+    const EnvironmentRun& run, const std::vector<CellId>& reference_cells,
+    std::size_t day, std::size_t samples_per_location,
+    const std::string& stream_tag) {
+  return collect_update_inputs(run, to_raw_cells(reference_cells), day,
+                               samples_per_location, stream_tag);
+}
+
 ReconstructionScore score_reconstruction(const EnvironmentRun& run,
                                          const linalg::Matrix& x_hat,
                                          std::size_t day) {
@@ -50,6 +58,14 @@ api::UpdateRequest collect_update_request(
                                          samples_per_location, stream_tag);
   request.day = day;
   return request;
+}
+
+api::UpdateRequest collect_update_request(
+    const EnvironmentRun& run, const std::string& site,
+    const std::vector<CellId>& reference_cells, std::size_t day,
+    std::size_t samples_per_location, const std::string& stream_tag) {
+  return collect_update_request(run, site, to_raw_cells(reference_cells), day,
+                                samples_per_location, stream_tag);
 }
 
 api::Result<api::SnapshotPtr> register_run(api::Engine& engine,

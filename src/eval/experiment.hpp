@@ -38,11 +38,24 @@ core::UpdateInputs collect_update_inputs(
     std::size_t day, std::size_t samples_per_location = 5,
     const std::string& stream_tag = "update");
 
+/// API v2 flavour: typed CellIds straight from Engine::reference_cells().
+core::UpdateInputs collect_update_inputs(
+    const EnvironmentRun& run, const std::vector<CellId>& reference_cells,
+    std::size_t day, std::size_t samples_per_location = 5,
+    const std::string& stream_tag = "update");
+
 /// Engine flavour of collect_update_inputs: the same fresh measurements
 /// wrapped as a batched-API request for `site` at `day`.
 api::UpdateRequest collect_update_request(
     const EnvironmentRun& run, const std::string& site,
     const std::vector<std::size_t>& reference_cells, std::size_t day,
+    std::size_t samples_per_location = 5,
+    const std::string& stream_tag = "update");
+
+/// API v2 flavour of collect_update_request (typed CellIds).
+api::UpdateRequest collect_update_request(
+    const EnvironmentRun& run, const std::string& site,
+    const std::vector<CellId>& reference_cells, std::size_t day,
     std::size_t samples_per_location = 5,
     const std::string& stream_tag = "update");
 

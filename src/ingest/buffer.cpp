@@ -11,6 +11,16 @@ ObservationBuffer::ObservationBuffer(std::size_t links, std::size_t cells,
                                      ObservationBufferOptions options)
     : links_(links), cells_(cells), health_(health), options_(options) {}
 
+ObservationBuffer::ObservationBuffer(std::size_t links, std::size_t cells,
+                                     std::vector<SourceInfo> sources,
+                                     serve::SiteHealthCounters& health,
+                                     ObservationBufferOptions options)
+    : links_(links),
+      cells_(cells),
+      sources_(std::move(sources)),
+      health_(health),
+      options_(options) {}
+
 api::Status ObservationBuffer::push(const Observation& observation) {
   // Validation order mirrors severity: a non-finite value is quarantined
   // as such even when its ids are also bad, so the counters tell the
@@ -39,6 +49,23 @@ api::Status ObservationBuffer::push(const Observation& observation) {
     return api::Status::invalid_argument(
         "observation: unknown cell id " + std::to_string(observation.cell) +
         " (site has " + std::to_string(cells_) + " cells)");
+  }
+  // Source identity check (multi-radio sites only): the link index is
+  // validated above, so the table lookup is in bounds.  A missing or
+  // mismatching id means the reading was attributed to a transmitter the
+  // site never registered — quarantine, don't guess.
+  if (!sources_.empty() &&
+      observation.source != sources_[observation.link].id) {
+    health_.quarantine_unknown_source.fetch_add(1,
+                                                std::memory_order_relaxed);
+    return api::Status::invalid_argument(
+        "observation: source id " +
+        (observation.source.specified()
+             ? std::to_string(observation.source.value())
+             : std::string("(unspecified)")) +
+        " does not match the source registered for link " +
+        std::to_string(observation.link) + " (expected id " +
+        std::to_string(sources_[observation.link].id.value()) + ")");
   }
 
   {
@@ -117,6 +144,9 @@ api::Result<core::UpdateInputs> ObservationBuffer::assemble(
       inputs.x_r(i, k) = fresh_or_served(i, refs[k]);
     }
   }
+  // Stamp the inputs with the snapshot's source table so the Engine's
+  // solve-time source check sees a consistent provenance chain.
+  inputs.sources = snapshot.sources();
   return inputs;
 }
 

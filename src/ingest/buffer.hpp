@@ -24,6 +24,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "api/snapshot.hpp"
 #include "api/status.hpp"
@@ -52,11 +53,24 @@ class ObservationBuffer {
                     serve::SiteHealthCounters& health,
                     ObservationBufferOptions options = {});
 
+  /// Multi-radio front door: as above, plus the site's per-link source
+  /// table (one SourceInfo per link, from the registered snapshot).  With
+  /// a non-empty table every pushed observation must carry the source id
+  /// registered for its link or it is quarantined as kUnknownSource —
+  /// a reading attributed to the wrong transmitter is a labelling fault,
+  /// not signal.  An empty table reproduces the legacy behaviour (no
+  /// source checks).
+  ObservationBuffer(std::size_t links, std::size_t cells,
+                    std::vector<SourceInfo> sources,
+                    serve::SiteHealthCounters& health,
+                    ObservationBufferOptions options = {});
+
   /// Validate and buffer one reading.  Returns kInvalidArgument for
-  /// non-finite / out-of-range values and unknown link or cell ids (the
-  /// reading is quarantined), kResourceExhausted at capacity, OK on
-  /// accept.  Accepted readings update the per-(link, cell) running mean
-  /// and the health block's last_observed_day.
+  /// non-finite / out-of-range values, unknown link or cell ids and (when
+  /// a source table is present) source mismatches — the reading is
+  /// quarantined; kResourceExhausted at capacity, OK on accept.  Accepted
+  /// readings update the per-(link, cell) running mean and the health
+  /// block's last_observed_day.
   api::Status push(const Observation& observation);
 
   /// Accepted observations in the current epoch.
@@ -84,6 +98,8 @@ class ObservationBuffer {
 
   std::size_t links() const { return links_; }
   std::size_t cells() const { return cells_; }
+  /// Per-link source table; empty when source validation is disabled.
+  const std::vector<SourceInfo>& sources() const { return sources_; }
   const ObservationBufferOptions& options() const { return options_; }
 
  private:
@@ -98,6 +114,7 @@ class ObservationBuffer {
 
   std::size_t links_;
   std::size_t cells_;
+  std::vector<SourceInfo> sources_;
   serve::SiteHealthCounters& health_;
   ObservationBufferOptions options_;
 

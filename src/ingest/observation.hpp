@@ -12,17 +12,23 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "base/ids.hpp"
+
 namespace iup::ingest {
 
 /// One streamed RSS reading: link `link` observed `rss_db` while the
 /// environment was labelled as day `day`, attributed to grid cell `cell`
 /// (the surveyor's position for reference measurements, the no-decrease
-/// cell for baseline traffic).
+/// cell for baseline traffic).  `source` names the transmitter the
+/// reading came from (firmware-style RssiSample{id, rssi}); the default
+/// unspecified value is accepted only by sites registered without a
+/// source table.
 struct Observation {
   std::size_t link = 0;
   std::size_t cell = 0;
   double rss_db = 0.0;
   std::uint64_t day = 0;
+  SourceId source;
 };
 
 /// Validation envelope for incoming readings.  Anything outside is
@@ -40,8 +46,9 @@ enum class QuarantineReason {
   kNonFinite,    ///< NaN / +-Inf reading
   kOutOfRange,   ///< finite but outside ObservationLimits
   kUnknownLink,  ///< link id >= the site's link count
-  kUnknownCell,  ///< cell id >= the site's cell count
-  kOverflow,     ///< buffer at capacity (kResourceExhausted)
+  kUnknownCell,    ///< cell id >= the site's cell count
+  kUnknownSource,  ///< source id does not match the link's registered source
+  kOverflow,       ///< buffer at capacity (kResourceExhausted)
 };
 
 }  // namespace iup::ingest

@@ -28,8 +28,12 @@ api::Status UpdateSupervisor::watch(const std::string& site,
   auto watched = std::make_shared<Watched>();
   watched->site = site;
   watched->shard = std::move(shard);
+  // The registered source table rides along so streamed observations are
+  // source-checked at the buffer door (empty table = legacy site, no
+  // source validation).
   watched->buffer = std::make_unique<ObservationBuffer>(
-      x.rows(), x.cols(), watched->shard->health(), options.buffer);
+      x.rows(), x.cols(), (*snapshot)->sources(), watched->shard->health(),
+      options.buffer);
   watched->watch = std::move(options);
   watched->jitter = rng::Rng(options_.seed).fork(site);
   watched->detector = EwmaDriftDetector(watched->watch.drift);

@@ -69,6 +69,9 @@ struct SiteHealthCounters {
   std::atomic<std::uint64_t> quarantine_out_of_range{0};
   std::atomic<std::uint64_t> quarantine_unknown_link{0};
   std::atomic<std::uint64_t> quarantine_unknown_cell{0};
+  /// Source id absent from / mismatching the site's registered source
+  /// table (multi-radio model; zero for legacy source-less sites).
+  std::atomic<std::uint64_t> quarantine_unknown_source{0};
   std::atomic<std::uint64_t> quarantine_overflow{0};  ///< buffer at capacity
   /// Largest observation day streamed for the site; together with the
   /// published snapshot's day this is the staleness metadata a degraded

@@ -115,6 +115,11 @@ Testbed::Testbed(Environment env, DeploymentConfig deployment,
   // Smooth per-band shadowing morph fields: low-order Fourier modes along
   // the slot axis, so the attenuation profile deforms coherently (this is
   // what Constraint 2's continuity prior can exploit).
+  // Default source table: the degenerate single-technology deployment
+  // (WiFi, id == link index).  Assigned WITHOUT touching any RNG stream —
+  // the fork order above is part of the byte-identity contract.
+  sources_ = single_technology_sources(m);
+
   rng::Rng sh_rng = root_.fork("shadow");
   shadow_a_ = linalg::Matrix(m, s);
   shadow_b_ = linalg::Matrix(m, s);
@@ -176,12 +181,31 @@ double Testbed::direct_loss_db(std::size_t link, std::size_t cell) const {
 double Testbed::mean_baseline_rss(std::size_t link, std::size_t day) const {
   const double rss = radio_.baseline_rss_dbm(deployment_.link(link).length()) +
                      link_gain_db_[link] + baseline_multipath_db(link, day) +
-                     drift_.link_offset(link, day);
+                     drift_.link_offset(link, day) + source_gain_db(link);
+  return radio_.clamp_rss(rss);
+}
+
+double Testbed::device_rss(std::size_t link, std::size_t cell,
+                           std::size_t day) const {
+  // Device-based: the target-carried transmitter at cell j, anchor row i
+  // receiving.  Distance-dominated path loss (floored so a target on top
+  // of an anchor stays in the model's near field) plus the same morphing
+  // multipath texture and drift terms — but NO blocking loss: nothing
+  // crosses a link when the target IS the transmitter.
+  const double d = geom::point_segment_distance(deployment_.link(link),
+                                                deployment_.cell_center(cell));
+  const double rss = radio_.baseline_rss_dbm(d < 0.5 ? 0.5 : d) +
+                     link_gain_db_[link] + baseline_multipath_db(link, day) +
+                     drift_.link_offset(link, day) +
+                     drift_.aging_noise(link, cell, day) +
+                     target_multipath_db(link, cell, day) +
+                     source_gain_db(link);
   return radio_.clamp_rss(rss);
 }
 
 double Testbed::mean_rss(std::size_t link, std::size_t cell,
                          std::size_t day) const {
+  if (mode_ == SensingMode::kDeviceBased) return device_rss(link, cell, day);
   const double loss = direct_loss_db(link, cell) *
                       (1.0 + shadow_blend(link, deployment_.slot_of(cell), day));
   double aging = drift_.aging_noise(link, cell, day);
@@ -196,7 +220,8 @@ double Testbed::mean_rss(std::size_t link, std::size_t cell,
   const double rss = radio_.baseline_rss_dbm(deployment_.link(link).length()) +
                      link_gain_db_[link] + baseline_multipath_db(link, day) +
                      drift_.link_offset(link, day) + aging - loss +
-                     target_multipath_db(link, cell, day);
+                     target_multipath_db(link, cell, day) +
+                     source_gain_db(link);
   return radio_.clamp_rss(rss);
 }
 
@@ -205,14 +230,39 @@ double Testbed::mean_rss_at(std::size_t link, geom::Point2 target,
   // Continuous positions reuse the nearest cell's static fields so a
   // trajectory through a cell agrees with the fingerprint of that cell.
   const std::size_t cell = deployment_.nearest_cell(target);
+  if (mode_ == SensingMode::kDeviceBased) return device_rss(link, cell, day);
   const double loss =
       radio_.target_loss_db(deployment_.link(link), target) *
       (1.0 + shadow_blend(link, deployment_.slot_of(cell), day));
   const double rss = radio_.baseline_rss_dbm(deployment_.link(link).length()) +
                      link_gain_db_[link] + baseline_multipath_db(link, day) +
                      drift_.link_offset(link, day) - loss +
-                     target_multipath_db(link, cell, day);
+                     target_multipath_db(link, cell, day) +
+                     source_gain_db(link);
   return radio_.clamp_rss(rss);
+}
+
+void Testbed::set_sources(std::vector<SourceInfo> sources,
+                          std::vector<double> source_gain_db) {
+  if (sources.size() != num_links()) {
+    throw std::invalid_argument(
+        "Testbed::set_sources: one SourceInfo per link required");
+  }
+  if (!source_gain_db.empty() && source_gain_db.size() != num_links()) {
+    throw std::invalid_argument(
+        "Testbed::set_sources: gain table must be empty or one per link");
+  }
+  sources_ = std::move(sources);
+  source_gain_db_ = std::move(source_gain_db);
+}
+
+bool Testbed::source_missing(std::size_t link) const {
+  if (link >= sources_.size()) return false;
+  const SourceId id = sources_[link].id;
+  for (const SourceId missing : missing_sources_) {
+    if (missing == id) return true;
+  }
+  return false;
 }
 
 linalg::Matrix Testbed::mean_fingerprint(std::size_t day) const {
@@ -308,6 +358,65 @@ Testbed make_hall_testbed(std::uint64_t seed) {
   RadioParams radio;
   radio.path_loss_exponent = env.path_loss_exponent;
   return Testbed(env, dep, radio, kMaxDay, seed);
+}
+
+std::vector<SourceInfo> mixed_radio_sources(std::size_t num_links) {
+  // First third WiFi, middle third BLE, rest LoRa (at least one of each
+  // for num_links >= 3).  Ids are deployment-style, offset per
+  // technology, so a source id is never a valid link index by accident.
+  std::vector<SourceInfo> sources(num_links);
+  const std::size_t third = num_links / 3;
+  for (std::size_t i = 0; i < num_links; ++i) {
+    if (i < third) {
+      sources[i] = SourceInfo{SourceId(100 + i), Technology::kWifi};
+    } else if (i < 2 * third) {
+      sources[i] = SourceInfo{SourceId(200 + i), Technology::kBle};
+    } else {
+      sources[i] = SourceInfo{SourceId(300 + i), Technology::kLora};
+    }
+  }
+  return sources;
+}
+
+Testbed make_mixed_radio_testbed(MixedRadioOptions options) {
+  Environment env;
+  env.name = "mixed";
+  env.width_m = 12.0;
+  env.height_m = 9.0;
+  env.multipath = MultipathLevel::kMedium;
+  env.path_loss_exponent = 3.0;
+  env.multipath_sigma_db = 2.1;
+  env.shadow_morph_frac = 0.28;
+  env.band_aging_sigma_db = 0.12;
+
+  DeploymentConfig dep;
+  dep.num_links = options.num_links;
+  dep.slots_per_link = options.slots_per_link;
+  dep.cell_spacing_m = 0.6;
+  dep.area_width_m = 12.0;
+  dep.area_height_m = 9.0;
+
+  RadioParams radio;
+  radio.path_loss_exponent = env.path_loss_exponent;
+  Testbed testbed(env, dep, radio, kMaxDay, options.seed);
+
+  // Technology gain offsets: BLE beacons run low TX power (quieter on
+  // every cell), LoRa's sub-GHz band penetrates better (hotter).  WiFi is
+  // the reference technology at 0 dB, so an all-WiFi assignment would
+  // leave the room byte-identical to its source-less twin.
+  std::vector<SourceInfo> sources = mixed_radio_sources(dep.num_links);
+  std::vector<double> gains(dep.num_links, 0.0);
+  for (std::size_t i = 0; i < dep.num_links; ++i) {
+    switch (sources[i].technology) {
+      case Technology::kWifi: gains[i] = 0.0; break;
+      case Technology::kBle: gains[i] = -4.0; break;
+      case Technology::kLora: gains[i] = 2.5; break;
+    }
+  }
+  testbed.set_sources(std::move(sources), std::move(gains));
+  testbed.set_sensing_mode(options.mode);
+  testbed.set_missing_sources(std::move(options.missing_sources));
+  return testbed;
 }
 
 std::vector<Testbed> make_paper_testbeds() {

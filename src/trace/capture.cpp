@@ -1,0 +1,82 @@
+#include "trace/capture.hpp"
+
+#include <string>
+#include <utility>
+
+#include "sim/fingerprint_builder.hpp"
+#include "sim/sampler.hpp"
+
+namespace iup::trace {
+
+api::Result<CapturedTrace> capture_trace(const sim::Testbed& testbed,
+                                         CaptureOptions options) {
+  if (options.observation_days.empty()) {
+    return api::Status::invalid_argument(
+        "capture: at least one observation day is required");
+  }
+  if (options.queries == 0) {
+    return api::Status::invalid_argument(
+        "capture: at least one localization query is required");
+  }
+  for (std::size_t k = 1; k < options.observation_days.size(); ++k) {
+    if (options.observation_days[k] <= options.observation_days[k - 1]) {
+      return api::Status::invalid_argument(
+          "capture: observation days must be strictly increasing");
+    }
+  }
+
+  CapturedTrace trace;
+
+  // Day-0 survey -> the at-rest fingerprint table.
+  const sim::GroundTruthSet survey =
+      sim::collect_ground_truth(testbed, {0});
+  trace.fingerprint.database = survey.x[0];
+  trace.fingerprint.mask = sim::no_decrease_mask(testbed);
+  trace.fingerprint.sources = testbed.sources();
+  const sim::Deployment& dep = testbed.deployment();
+  trace.fingerprint.cell_centers.reserve(testbed.num_cells());
+  for (std::size_t j = 0; j < testbed.num_cells(); ++j) {
+    trace.fingerprint.cell_centers.push_back(dep.cell_center(j));
+  }
+
+  // Observation stream: per day, individual readings over the covered
+  // (link, cell) entries of the mask.  A link whose source is missing
+  // emits nothing — its fresh coverage comes back as served-value
+  // fallback at assemble time, the degraded path a dead beacon causes.
+  for (const std::size_t day : options.observation_days) {
+    sim::Sampler sampler(testbed, "trace-obs-day" + std::to_string(day));
+    for (std::size_t i = 0; i < testbed.num_links(); ++i) {
+      if (testbed.source_missing(i)) continue;
+      for (std::size_t j = 0; j < testbed.num_cells(); ++j) {
+        if (trace.fingerprint.mask(i, j) == 0.0) continue;
+        for (std::size_t s = 0; s < options.samples_per_entry; ++s) {
+          ingest::Observation obs;
+          obs.link = i;
+          obs.cell = j;
+          obs.rss_db = sampler.sample(i, j, day);
+          obs.day = day;
+          obs.source = trace.fingerprint.sources[i].id;
+          trace.observations.push_back(obs);
+        }
+      }
+    }
+  }
+
+  // Queries: online measurements at the final day, ground-truth labelled,
+  // target positions spread across the grid.
+  const std::size_t query_day = options.observation_days.back();
+  sim::Sampler online(testbed, "trace-query");
+  for (std::size_t k = 0; k < options.queries; ++k) {
+    const std::size_t cell = (k * testbed.num_cells()) / options.queries;
+    LocalizationQuery query;
+    query.id = k;
+    query.day = query_day;
+    query.true_position = dep.cell_center(cell);
+    query.rss_db =
+        online.online_measurement(cell, query_day, options.query_samples);
+    trace.queries.push_back(std::move(query));
+  }
+  return trace;
+}
+
+}  // namespace iup::trace

@@ -1,0 +1,48 @@
+// Trace capture: record a testbed campaign as the three CSV-ready pieces
+// the replay driver consumes (fingerprint table, observation stream,
+// localization queries).
+//
+// This is the bridge between the simulator and the trace subsystem: the
+// day-0 survey becomes the fingerprint table (with the testbed's
+// multi-radio source table and cell geometry denormalized in), later days
+// become a stream of per-(link, cell) readings over the no-decrease mask
+// — links whose source is missing emit nothing, exactly like a dead
+// beacon — and the final day contributes ground-truth-labelled online
+// measurements for CDF scoring.  Everything is deterministic in the
+// testbed's seed and the sampler stream tags.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "api/status.hpp"
+#include "ingest/observation.hpp"
+#include "sim/testbeds.hpp"
+#include "trace/fingerprint_csv.hpp"
+#include "trace/observation_csv.hpp"
+
+namespace iup::trace {
+
+struct CaptureOptions {
+  /// Days the observation stream covers (one update epoch each).
+  std::vector<std::size_t> observation_days = {15, 45};
+  /// Individual readings streamed per covered (link, cell) entry.
+  std::size_t samples_per_entry = 3;
+  /// Localization queries recorded at the last observation day.
+  std::size_t queries = 12;
+  /// Readings averaged per query measurement vector.
+  std::size_t query_samples = 3;
+};
+
+struct CapturedTrace {
+  FingerprintTable fingerprint;
+  std::vector<ingest::Observation> observations;
+  std::vector<LocalizationQuery> queries;
+};
+
+/// Record one campaign on `testbed`.  kInvalidArgument when options are
+/// degenerate (no observation days, zero queries).
+api::Result<CapturedTrace> capture_trace(const sim::Testbed& testbed,
+                                         CaptureOptions options = {});
+
+}  // namespace iup::trace

@@ -1,0 +1,125 @@
+#include "trace/csv.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace iup::trace {
+
+std::string format_double(double value) {
+  // Try the shortest precision that round-trips; fall back to 17
+  // significant digits (always exact for IEEE double).
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> out;
+  if (line.empty()) return out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t comma = line.find(',', start);
+    std::string_view field = comma == std::string_view::npos
+                                 ? line.substr(start)
+                                 : line.substr(start, comma - start);
+    while (!field.empty() && (field.front() == ' ' || field.front() == '\t')) {
+      field.remove_prefix(1);
+    }
+    while (!field.empty() && (field.back() == ' ' || field.back() == '\t' ||
+                              field.back() == '\r')) {
+      field.remove_suffix(1);
+    }
+    out.push_back(field);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+CsvReader::CsvReader(std::istream& in, std::string label,
+                     std::vector<std::string> columns)
+    : in_(in), label_(std::move(label)), columns_(std::move(columns)) {
+  if (!std::getline(in_, row_)) {
+    status_ = fail("missing header row");
+    return;
+  }
+  ++line_;
+  const std::vector<std::string_view> header = split_fields(row_);
+  if (header.size() != columns_.size()) {
+    status_ = fail("header has " + std::to_string(header.size()) +
+                   " columns, expected " + std::to_string(columns_.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (header[i] != columns_[i]) {
+      status_ = fail("header column " + std::to_string(i) + " is '" +
+                     std::string(header[i]) + "', expected '" + columns_[i] +
+                     "'");
+      return;
+    }
+  }
+}
+
+bool CsvReader::next_row() {
+  if (!status_.ok()) return false;
+  while (std::getline(in_, row_)) {
+    ++line_;
+    if (row_.empty() || row_ == "\r") continue;  // blank lines are fine
+    fields_ = split_fields(row_);
+    if (fields_.size() != columns_.size()) {
+      status_ = fail("row has " + std::to_string(fields_.size()) +
+                     " fields, expected " + std::to_string(columns_.size()));
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+api::Result<double> CsvReader::field_double(std::size_t index) {
+  const std::string text(fields_[index]);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    return fail("column '" + columns_[index] + "' has non-numeric value '" +
+                text + "'");
+  }
+  if (errno == ERANGE) {
+    return fail("column '" + columns_[index] + "' value '" + text +
+                "' overflows double");
+  }
+  return value;
+}
+
+api::Result<std::uint64_t> CsvReader::field_u64(std::size_t index) {
+  const std::string text(fields_[index]);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || text[0] == '-') {
+    return fail("column '" + columns_[index] +
+                "' has non-integer value '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    return fail("column '" + columns_[index] + "' value '" + text +
+                "' overflows uint64");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string CsvReader::where() const {
+  return label_ + ":" + std::to_string(line_) + ": ";
+}
+
+api::Status CsvReader::fail(std::string message) {
+  status_ = api::Status::invalid_argument(where() + std::move(message));
+  return status_;
+}
+
+}  // namespace iup::trace

@@ -1,0 +1,76 @@
+// Minimal CSV plumbing for the trace I/O subsystem.
+//
+// Deliberately tiny: our schemas (ESPosition-style flat tables) never
+// contain quoted fields or embedded separators, so this is a line/comma
+// splitter with strict, line-numbered error reporting — every parse
+// failure names the file position, the column and the offending text, so
+// a malformed external dataset is diagnosable from the Status message
+// alone.  Doubles round-trip bit-exactly: format_double prints with
+// enough digits (%.17g) that strtod returns the identical bits on import,
+// which is what makes export->import fingerprint equality a meaningful
+// regression check.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/status.hpp"
+
+namespace iup::trace {
+
+/// Shortest decimal form that parses back to exactly `value` (finite
+/// doubles; non-finite values print as "nan"/"inf" and are rejected by
+/// the importers' finiteness checks).
+std::string format_double(double value);
+
+/// Split one CSV line on ','; fields are trimmed of surrounding spaces
+/// and a trailing '\r' (CRLF tolerance).  Empty line -> empty vector.
+std::vector<std::string_view> split_fields(std::string_view line);
+
+/// Line-oriented CSV reader with a mandatory header row.
+///
+/// Usage: construct, check status(), then next_row() until it returns
+/// false; fields() exposes the current row.  Any structural error
+/// (missing header, wrong column set, short row) parks a kInvalidArgument
+/// in status() and stops iteration.
+class CsvReader {
+ public:
+  /// `label` names the stream in error messages (a path or "inline").
+  /// `columns` is the exact expected header, in order.
+  CsvReader(std::istream& in, std::string label,
+            std::vector<std::string> columns);
+
+  const api::Status& status() const { return status_; }
+  /// 1-based line number of the current row (header is line 1).
+  std::size_t line() const { return line_; }
+
+  /// Advance to the next non-empty row.  False at end of stream or after
+  /// an error (check status() to tell them apart).
+  bool next_row();
+  const std::vector<std::string_view>& fields() const { return fields_; }
+
+  /// Parse the current row's column `index` as a double / uint64; a
+  /// failure reports label, line, column name and the offending text.
+  api::Result<double> field_double(std::size_t index);
+  api::Result<std::uint64_t> field_u64(std::size_t index);
+  std::string_view field(std::size_t index) const { return fields_[index]; }
+
+  /// "label:line: " prefix for importer-level (cross-column) complaints.
+  std::string where() const;
+
+ private:
+  api::Status fail(std::string message);
+
+  std::istream& in_;
+  std::string label_;
+  std::vector<std::string> columns_;
+  api::Status status_;
+  std::size_t line_ = 0;
+  std::string row_;
+  std::vector<std::string_view> fields_;
+};
+
+}  // namespace iup::trace

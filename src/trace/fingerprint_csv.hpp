@@ -1,0 +1,64 @@
+// Fingerprint import/export: the at-rest CSV form of a site's radio map.
+//
+// Schema (ESPosition-style flat table, one row per (link, cell) pair):
+//
+//   link,cell,source_id,technology,rss_db,mask,cell_x_m,cell_y_m
+//
+// Positions and per-link source identity ride along on every row exactly
+// like ESPosition's denormalized anchor columns, so one file is a
+// complete, self-describing dataset: an external consumer needs no side
+// channel to know where cell 17 is or which BLE beacon feeds link 4.
+// Import validates the table is rectangular (every pair exactly once),
+// that the denormalized columns are consistent (a link's source never
+// changes between rows, a cell never moves) and that values parse clean
+// — every violation is a kInvalidArgument naming file, line and column.
+//
+// RSS and coordinates round-trip bit-exactly (trace::format_double), so
+// export -> import -> export is byte-stable and an imported database is
+// safe to compare EXPECT_EQ against the matrix it was exported from.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/snapshot.hpp"
+#include "api/status.hpp"
+#include "base/ids.hpp"
+#include "geom/geometry.hpp"
+#include "linalg/matrix.hpp"
+
+namespace iup::trace {
+
+/// One imported radio map: everything needed to register the site and
+/// score localization in metres.
+struct FingerprintTable {
+  linalg::Matrix database;              ///< M x N mean RSS [dB]
+  linalg::Matrix mask;                  ///< M x N 0/1 no-decrease mask
+  std::vector<SourceInfo> sources;      ///< per link (M entries)
+  std::vector<geom::Point2> cell_centers;  ///< per cell (N entries)
+};
+
+/// Write `table` as CSV.  Fails (kInvalidArgument) on shape mismatches
+/// or non-finite values; kInternal on stream write failure.
+api::Status export_fingerprint_csv(const FingerprintTable& table,
+                                   std::ostream& out);
+
+/// Export the live engine-side form: snapshot database/mask/sources plus
+/// cell centres supplied by the caller (snapshots carry no geometry).
+api::Status export_fingerprint_csv(const api::FingerprintSnapshot& snapshot,
+                                   const std::vector<geom::Point2>& centers,
+                                   std::ostream& out);
+
+/// Parse a fingerprint CSV (see schema above).  `label` names the stream
+/// in error messages.
+api::Result<FingerprintTable> import_fingerprint_csv(std::istream& in,
+                                                     std::string label);
+
+/// File-path convenience wrappers (kNotFound when the file cannot be
+/// opened, kInternal when the write fails).
+api::Status write_fingerprint_csv(const FingerprintTable& table,
+                                  const std::string& path);
+api::Result<FingerprintTable> read_fingerprint_csv(const std::string& path);
+
+}  // namespace iup::trace

@@ -1,0 +1,210 @@
+#include "trace/observation_csv.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "trace/csv.hpp"
+
+namespace iup::trace {
+
+namespace {
+
+const std::vector<std::string>& observation_columns() {
+  static const std::vector<std::string> columns = {"day", "link", "cell",
+                                                   "source_id", "rss_db"};
+  return columns;
+}
+
+const std::vector<std::string>& query_columns() {
+  static const std::vector<std::string> columns = {
+      "query_id", "day", "true_x_m", "true_y_m", "link", "rss_db"};
+  return columns;
+}
+
+}  // namespace
+
+api::Status export_observation_csv(
+    std::span<const ingest::Observation> observations, std::ostream& out) {
+  out << "day,link,cell,source_id,rss_db\n";
+  for (const ingest::Observation& obs : observations) {
+    if (!obs.source.specified()) {
+      return api::Status::invalid_argument(
+          "observation export: unattributed observation (link " +
+          std::to_string(obs.link) + ", cell " + std::to_string(obs.cell) +
+          ") — trace files always carry source ids");
+    }
+    out << obs.day << ',' << obs.link << ',' << obs.cell << ','
+        << obs.source.value() << ',' << format_double(obs.rss_db) << '\n';
+  }
+  if (!out) return api::Status::internal("observation export: write failed");
+  return {};
+}
+
+api::Result<std::vector<ingest::Observation>> import_observation_csv(
+    std::istream& in, std::string label) {
+  CsvReader reader(in, std::move(label), observation_columns());
+  if (!reader.status().ok()) return reader.status();
+  std::vector<ingest::Observation> out;
+  while (reader.next_row()) {
+    const auto day = reader.field_u64(0);
+    if (!day.ok()) return day.status();
+    const auto link = reader.field_u64(1);
+    if (!link.ok()) return link.status();
+    const auto cell = reader.field_u64(2);
+    if (!cell.ok()) return cell.status();
+    const auto source = reader.field_u64(3);
+    if (!source.ok()) return source.status();
+    const auto rss = reader.field_double(4);
+    if (!rss.ok()) return rss.status();
+    // Range/finiteness are deliberately NOT enforced here: the ingest
+    // buffer is the quarantine authority, and a replayed trace must
+    // exercise it exactly like a live stream would.
+    ingest::Observation obs;
+    obs.day = day.value();
+    obs.link = static_cast<std::size_t>(link.value());
+    obs.cell = static_cast<std::size_t>(cell.value());
+    obs.source = SourceId(source.value());
+    obs.rss_db = rss.value();
+    out.push_back(obs);
+  }
+  if (!reader.status().ok()) return reader.status();
+  return out;
+}
+
+api::Status export_query_csv(std::span<const LocalizationQuery> queries,
+                             std::ostream& out) {
+  out << "query_id,day,true_x_m,true_y_m,link,rss_db\n";
+  for (const LocalizationQuery& query : queries) {
+    if (query.rss_db.empty()) {
+      return api::Status::invalid_argument(
+          "query export: query " + std::to_string(query.id) +
+          " has an empty measurement vector");
+    }
+    for (std::size_t link = 0; link < query.rss_db.size(); ++link) {
+      out << query.id << ',' << query.day << ','
+          << format_double(query.true_position.x) << ','
+          << format_double(query.true_position.y) << ',' << link << ','
+          << format_double(query.rss_db[link]) << '\n';
+    }
+  }
+  if (!out) return api::Status::internal("query export: write failed");
+  return {};
+}
+
+api::Result<std::vector<LocalizationQuery>> import_query_csv(
+    std::istream& in, std::string label, std::size_t links) {
+  CsvReader reader(in, std::move(label), query_columns());
+  if (!reader.status().ok()) return reader.status();
+  std::vector<LocalizationQuery> out;
+  std::vector<bool> link_seen;
+  const auto finish_query = [&]() -> api::Status {
+    if (out.empty()) return {};
+    for (std::size_t i = 0; i < links; ++i) {
+      if (!link_seen[i]) {
+        return api::Status::invalid_argument(
+            reader.where() + "query " + std::to_string(out.back().id) +
+            " is missing link " + std::to_string(i) + " (each query needs "
+            "one row per link)");
+      }
+    }
+    return {};
+  };
+  while (reader.next_row()) {
+    const auto id = reader.field_u64(0);
+    if (!id.ok()) return id.status();
+    const auto day = reader.field_u64(1);
+    if (!day.ok()) return day.status();
+    const auto x = reader.field_double(2);
+    if (!x.ok()) return x.status();
+    const auto y = reader.field_double(3);
+    if (!y.ok()) return y.status();
+    const auto link = reader.field_u64(4);
+    if (!link.ok()) return link.status();
+    const auto rss = reader.field_double(5);
+    if (!rss.ok()) return rss.status();
+    if (link.value() >= links) {
+      return api::Status::invalid_argument(
+          reader.where() + "column 'link' is " +
+          std::to_string(link.value()) + " but the deployment has " +
+          std::to_string(links) + " links");
+    }
+    if (!std::isfinite(x.value()) || !std::isfinite(y.value())) {
+      return api::Status::invalid_argument(
+          reader.where() + "ground-truth position is non-finite");
+    }
+
+    if (out.empty() || out.back().id != id.value()) {
+      // New query begins; the previous one must be complete.
+      if (api::Status done = finish_query(); !done.ok()) return done;
+      for (const LocalizationQuery& prior : out) {
+        if (prior.id == id.value()) {
+          return api::Status::invalid_argument(
+              reader.where() + "query " + std::to_string(id.value()) +
+              " rows are not contiguous");
+        }
+      }
+      LocalizationQuery query;
+      query.id = id.value();
+      query.day = day.value();
+      query.true_position = geom::Point2{x.value(), y.value()};
+      query.rss_db.assign(links, 0.0);
+      out.push_back(std::move(query));
+      link_seen.assign(links, false);
+    }
+    LocalizationQuery& query = out.back();
+    if (query.day != day.value() || query.true_position.x != x.value() ||
+        query.true_position.y != y.value()) {
+      return api::Status::invalid_argument(
+          reader.where() + "query " + std::to_string(query.id) +
+          " changes its day or ground-truth position mid-query");
+    }
+    const std::size_t l = static_cast<std::size_t>(link.value());
+    if (link_seen[l]) {
+      return api::Status::invalid_argument(
+          reader.where() + "query " + std::to_string(query.id) +
+          " repeats link " + std::to_string(l));
+    }
+    link_seen[l] = true;
+    query.rss_db[l] = rss.value();
+  }
+  if (!reader.status().ok()) return reader.status();
+  if (api::Status done = finish_query(); !done.ok()) return done;
+  return out;
+}
+
+api::Status write_observation_csv(
+    std::span<const ingest::Observation> observations,
+    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return api::Status::not_found("cannot open '" + path + "' for writing");
+  }
+  return export_observation_csv(observations, out);
+}
+
+api::Result<std::vector<ingest::Observation>> read_observation_csv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return api::Status::not_found("cannot open '" + path + "'");
+  return import_observation_csv(in, path);
+}
+
+api::Status write_query_csv(std::span<const LocalizationQuery> queries,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return api::Status::not_found("cannot open '" + path + "' for writing");
+  }
+  return export_query_csv(queries, out);
+}
+
+api::Result<std::vector<LocalizationQuery>> read_query_csv(
+    const std::string& path, std::size_t links) {
+  std::ifstream in(path);
+  if (!in) return api::Status::not_found("cannot open '" + path + "'");
+  return import_query_csv(in, path, links);
+}
+
+}  // namespace iup::trace

@@ -1,0 +1,64 @@
+// Observation-stream and localization-query import/export.
+//
+// Observation schema (one streamed reading per row, the firmware-style
+// RssiSample{id, rssi} with its attribution columns):
+//
+//   day,link,cell,source_id,rss_db
+//
+// Query schema (ESPosition-style: ground-truth target position carried
+// per row, one row per (query, link) pair, M rows per query):
+//
+//   query_id,day,true_x_m,true_y_m,link,rss_db
+//
+// Queries with the same query_id must be contiguous, cover every link of
+// the deployment exactly once and agree on day/position — the importer
+// rejects anything else with a line-numbered kInvalidArgument.  RSS
+// values round-trip bit-exactly (trace::format_double).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "base/ids.hpp"
+#include "geom/geometry.hpp"
+#include "ingest/observation.hpp"
+
+namespace iup::trace {
+
+/// One recorded localization attempt: an online measurement vector (one
+/// entry per link) plus the surveyed ground-truth position it was taken
+/// at — what the replay driver scores the CDF against.
+struct LocalizationQuery {
+  std::uint64_t id = 0;
+  std::uint64_t day = 0;
+  geom::Point2 true_position;
+  std::vector<double> rss_db;  ///< by link, size M
+};
+
+api::Status export_observation_csv(
+    std::span<const ingest::Observation> observations, std::ostream& out);
+api::Result<std::vector<ingest::Observation>> import_observation_csv(
+    std::istream& in, std::string label);
+
+/// `links` is the deployment's link count every query must cover.
+api::Status export_query_csv(std::span<const LocalizationQuery> queries,
+                             std::ostream& out);
+api::Result<std::vector<LocalizationQuery>> import_query_csv(
+    std::istream& in, std::string label, std::size_t links);
+
+/// File-path convenience wrappers.
+api::Status write_observation_csv(
+    std::span<const ingest::Observation> observations,
+    const std::string& path);
+api::Result<std::vector<ingest::Observation>> read_observation_csv(
+    const std::string& path);
+api::Status write_query_csv(std::span<const LocalizationQuery> queries,
+                            const std::string& path);
+api::Result<std::vector<LocalizationQuery>> read_query_csv(
+    const std::string& path, std::size_t links);
+
+}  // namespace iup::trace

@@ -1,0 +1,129 @@
+#include "trace/replay.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "geom/geometry.hpp"
+
+namespace iup::trace {
+
+api::Result<ReplayReport> run_replay(
+    api::Engine& engine, const FingerprintTable& table,
+    std::span<const ingest::Observation> observations,
+    std::span<const LocalizationQuery> queries, ReplayConfig config) {
+  ReplayReport report;
+
+  auto registered = engine.register_site(config.site, table.database,
+                                         table.mask, table.sources);
+  if (!registered.ok()) return registered.status();
+  report.final_version = registered.value()->version();
+
+  serve::ShardRegistry::ShardPtr shard = engine.shards().find(config.site);
+  if (!shard) {
+    return api::Status::internal("replay: site '" + config.site +
+                                 "' registered but has no shard");
+  }
+  ingest::ObservationBuffer buffer(table.database.rows(),
+                                   table.database.cols(), table.sources,
+                                   shard->health(), config.buffer);
+
+  // Commit one update from the buffered epoch, labelled `day`.
+  const auto commit = [&](std::uint64_t day) -> api::Status {
+    auto snapshot = engine.snapshot(config.site);
+    if (!snapshot.ok()) return snapshot.status();
+    auto inputs = buffer.assemble(*snapshot.value());
+    if (!inputs.ok()) return inputs.status();
+    api::UpdateRequest request;
+    request.site = config.site;
+    request.inputs = std::move(inputs).value();
+    request.day = static_cast<std::size_t>(day);
+    auto result = engine.update(request);
+    if (!result.ok()) return result.status();
+    buffer.consume();
+    ++report.updates_committed;
+    report.final_version = result.value().committed_version;
+    return {};
+  };
+
+  bool have_day = false;
+  std::uint64_t current_day = 0;
+  for (const ingest::Observation& obs : observations) {
+    if (have_day && obs.day < current_day) {
+      return api::Status::invalid_argument(
+          "replay: observation stream is not sorted by day (day " +
+          std::to_string(obs.day) + " after day " +
+          std::to_string(current_day) + ")");
+    }
+    if (have_day && obs.day > current_day) {
+      // Day boundary: commit the finished day's epoch if it covered
+      // enough entries, otherwise let it roll into the new day.
+      if (buffer.coverage() >= config.min_coverage && buffer.size() > 0) {
+        if (api::Status done = commit(current_day); !done.ok()) return done;
+      } else {
+        ++report.updates_skipped;
+      }
+    }
+    current_day = obs.day;
+    have_day = true;
+
+    api::Status pushed = buffer.push(obs);
+    if (pushed.ok()) {
+      ++report.observations_accepted;
+      continue;
+    }
+    if (pushed.code() == api::StatusCode::kResourceExhausted) {
+      // Buffer full mid-day: commit what we have and retry once.
+      if (buffer.coverage() < config.min_coverage) return pushed;
+      if (api::Status done = commit(current_day); !done.ok()) return done;
+      pushed = buffer.push(obs);
+      if (!pushed.ok()) return pushed;
+      ++report.observations_accepted;
+      continue;
+    }
+    // Quarantined (counted in the shard's health block); keep streaming.
+    ++report.observations_quarantined;
+  }
+  if (have_day && buffer.size() > 0 &&
+      buffer.coverage() >= config.min_coverage) {
+    if (api::Status done = commit(current_day); !done.ok()) return done;
+  }
+
+  report.localization_errors_m.reserve(queries.size());
+  for (const LocalizationQuery& query : queries) {
+    auto estimate = engine.localize(config.site, query.rss_db);
+    if (!estimate.ok()) return estimate.status();
+    const std::size_t cell = estimate.value().cell;
+    if (cell >= table.cell_centers.size()) {
+      return api::Status::internal(
+          "replay: localizer returned cell " + std::to_string(cell) +
+          " outside the imported grid");
+    }
+    const double error_m =
+        geom::distance(table.cell_centers[cell], query.true_position);
+    if (!std::isfinite(error_m)) {
+      return api::Status::internal(
+          "replay: non-finite localization error for query " +
+          std::to_string(query.id));
+    }
+    report.localization_errors_m.push_back(error_m);
+  }
+  return report;
+}
+
+api::Result<ReplayReport> run_replay_files(api::Engine& engine,
+                                           const std::string& fingerprint_csv,
+                                           const std::string& observation_csv,
+                                           const std::string& query_csv,
+                                           ReplayConfig config) {
+  auto table = read_fingerprint_csv(fingerprint_csv);
+  if (!table.ok()) return table.status();
+  auto observations = read_observation_csv(observation_csv);
+  if (!observations.ok()) return observations.status();
+  auto queries =
+      read_query_csv(query_csv, table.value().database.rows());
+  if (!queries.ok()) return queries.status();
+  return run_replay(engine, table.value(), observations.value(),
+                    queries.value(), std::move(config));
+}
+
+}  // namespace iup::trace

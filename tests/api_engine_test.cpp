@@ -212,9 +212,11 @@ TEST(EngineHealth, SiteHealthTracksServingAndUpdateOutcomes) {
 TEST(EngineErrors, EmptyReferenceSetIsRejected) {
   const auto& run = iup::test::office_run();
   Engine engine = office_engine(run);
-  const auto empty = engine.set_reference_cells("office", {});
+  const auto empty =
+      engine.set_reference_cells("office", std::vector<CellId>{});
   EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
-  const auto out_of_range = engine.set_reference_cells("office", {0, 400});
+  const auto out_of_range =
+      engine.set_reference_cells("office", to_cell_ids({0, 400}));
   EXPECT_EQ(out_of_range.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.store().version_count("office"), 1u);
 }
@@ -223,10 +225,11 @@ TEST(EngineSnapshots, ReferenceOverrideCommitsNewCorrelation) {
   const auto& run = iup::test::office_run();
   Engine engine = office_engine(run);
   const std::vector<std::size_t> cells = {0, 13, 26, 39, 52, 65, 78, 91, 95};
-  ASSERT_TRUE(engine.set_reference_cells("office", cells).ok());
+  ASSERT_TRUE(engine.set_reference_cells("office", to_cell_ids(cells)).ok());
   const auto snap = engine.snapshot("office").value();
   EXPECT_EQ(snap->version(), 2u);
   EXPECT_EQ(snap->reference_cells(), cells);
+  EXPECT_EQ(engine.reference_cells("office").value(), to_cell_ids(cells));
   EXPECT_EQ(snap->correlation().rows(), 9u);
   const auto rep = engine.reconstruct(
       eval::collect_update_request(run, "office", cells, 45));
@@ -318,25 +321,6 @@ TEST(EngineBatch, FailedRequestDoesNotBlockTheRest) {
   EXPECT_EQ(engine.store().version_count("office"), 3u);
 }
 
-TEST(EngineParity, MatchesTheDeprecatedIUpdaterExactly) {
-  const auto& run = iup::test::office_run();
-  const auto& x0 = run.ground_truth.at_day(0);
-
-  core::IUpdater updater(x0, run.b_mask);
-  Engine engine = office_engine(run);
-  ASSERT_EQ(engine.reference_cells("office").value(),
-            updater.reference_cells());
-
-  const auto inputs =
-      eval::collect_update_inputs(run, updater.reference_cells(), 45);
-  const auto legacy = updater.update(inputs);
-  const auto modern = engine.update({"office", inputs, 45});
-  ASSERT_TRUE(modern.ok()) << modern.status().to_string();
-  EXPECT_TRUE(modern.value().x_hat() == legacy.x_hat);
-  EXPECT_TRUE(engine.snapshot("office").value()->correlation() ==
-              updater.correlation());
-}
-
 TEST(EngineLocalize, BatchMatchesSingleAndValidates) {
   const auto& run = iup::test::office_run();
   Engine engine = office_engine(run);
@@ -373,6 +357,103 @@ TEST(EngineLocalize, RassNeedsDeploymentAttached) {
   const auto with_dep =
       engine.localize("office", std::vector<double>(8, -50.0));
   EXPECT_TRUE(with_dep.ok()) << with_dep.status().to_string();
+}
+
+TEST(EngineApiV2, DeprecatedRawIndexOverloadsAgreeWithTyped) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+  const auto typed = engine.reference_cells("office").value();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto raw = engine.reference_cell_indices("office").value();
+  EXPECT_EQ(to_cell_ids(raw), typed);
+  // The raw set_reference_cells shim routes to the same implementation.
+  ASSERT_TRUE(engine.set_reference_cells("office", raw).ok());
+#pragma GCC diagnostic pop
+  EXPECT_EQ(engine.reference_cells("office").value(), typed);
+}
+
+std::vector<SourceInfo> office_sources() {
+  std::vector<SourceInfo> sources;
+  for (std::size_t i = 0; i < 8; ++i) {
+    sources.push_back({SourceId(1000 + i),
+                       i < 4 ? Technology::kWifi : Technology::kBle});
+  }
+  return sources;
+}
+
+TEST(EngineSources, RegistrationValidatesTheSourceTable) {
+  const auto& run = iup::test::office_run();
+  const auto& x0 = run.ground_truth.at_day(0);
+  Engine engine;
+
+  auto short_table = office_sources();
+  short_table.pop_back();
+  EXPECT_EQ(engine.register_site("office", x0, run.b_mask, short_table)
+                .status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto unspecified = office_sources();
+  unspecified[2].id = SourceId();
+  EXPECT_EQ(engine.register_site("office", x0, run.b_mask, unspecified)
+                .status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto duplicate = office_sources();
+  duplicate[5].id = duplicate[1].id;
+  EXPECT_EQ(engine.register_site("office", x0, run.b_mask, duplicate)
+                .status().code(),
+            StatusCode::kInvalidArgument);
+
+  const auto ok = engine.register_site("office", x0, run.b_mask,
+                                       office_sources());
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok.value()->sources(), office_sources());
+  EXPECT_EQ(engine.sources("office").value(), office_sources());
+}
+
+TEST(EngineSources, TableIsCarriedAcrossVersionsAndEnforced) {
+  const auto& run = iup::test::office_run();
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .register_site("office", run.ground_truth.at_day(0),
+                                 run.b_mask, office_sources())
+                  .ok());
+  ASSERT_TRUE(
+      engine.attach_deployment("office", &run.testbed.deployment()).ok());
+  const auto cells = engine.reference_cells("office").value();
+
+  // Inputs carrying the registered table commit fine...
+  auto good = eval::collect_update_request(run, "office", cells, 15);
+  good.inputs.sources = office_sources();
+  const auto committed = engine.update(good);
+  ASSERT_TRUE(committed.ok()) << committed.status().to_string();
+  // ...and the new snapshot still carries the table.
+  EXPECT_EQ(committed.value().snapshot->sources(), office_sources());
+
+  // Inputs attributed to a different transmitter set are rejected.
+  auto bad = eval::collect_update_request(run, "office", cells, 45);
+  bad.inputs.sources = office_sources();
+  bad.inputs.sources[3].id = SourceId(9999);
+  EXPECT_EQ(engine.update(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  auto wrong_tech = eval::collect_update_request(run, "office", cells, 45);
+  wrong_tech.inputs.sources = office_sources();
+  wrong_tech.inputs.sources[0].technology = Technology::kLora;
+  EXPECT_EQ(engine.update(wrong_tech).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Source-less inputs stay accepted (legacy callers, assembled traces
+  // from source-less snapshots).
+  const auto legacy = eval::collect_update_request(run, "office", cells, 45);
+  EXPECT_TRUE(engine.update(legacy).ok());
+}
+
+TEST(EngineSources, LegacyRegistrationHasEmptyTable) {
+  const auto& run = iup::test::office_run();
+  Engine engine = office_engine(run);
+  EXPECT_TRUE(engine.sources("office").value().empty());
+  EXPECT_TRUE(engine.snapshot("office").value()->sources().empty());
 }
 
 }  // namespace

@@ -1,123 +1,157 @@
-// The IUpdater pipeline class.
-#include "core/updater.hpp"
+// The update pipeline end to end through api::Engine (the pre-Engine
+// IUpdater shim these tests used to exercise is retired; the Engine is
+// the one write path).
+#include "api/engine.hpp"
 
 #include <gtest/gtest.h>
 
+#include "core/updater.hpp"
 #include "eval/experiment.hpp"
 #include "test_util.hpp"
 
 namespace iup::core {
 namespace {
 
-TEST(Updater, ReferenceCountEqualsLinkCount) {
-  const auto& run = iup::test::office_run();
-  const IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
-  EXPECT_EQ(updater.reference_cells().size(), 8u);
-  EXPECT_EQ(updater.correlation().rows(), 8u);
-  EXPECT_EQ(updater.correlation().cols(), 96u);
+using api::Engine;
+using api::StatusCode;
+
+Engine office_engine(const eval::EnvironmentRun& run) {
+  Engine engine;
+  const auto registered = eval::register_run(engine, run, "office");
+  EXPECT_TRUE(registered.ok()) << registered.status().to_string();
+  return engine;
 }
 
-TEST(Updater, ShapeMismatchThrows) {
+TEST(UpdatePipeline, ReferenceCountEqualsLinkCount) {
   const auto& run = iup::test::office_run();
-  EXPECT_THROW(IUpdater(run.ground_truth.at_day(0), linalg::Matrix(8, 90)),
-               std::invalid_argument);
+  Engine engine = office_engine(run);
+  EXPECT_EQ(engine.reference_cells("office").value().size(), 8u);
+  const auto snapshot = engine.snapshot("office").value();
+  EXPECT_EQ(snapshot->correlation().rows(), 8u);
+  EXPECT_EQ(snapshot->correlation().cols(), 96u);
 }
 
-TEST(Updater, ReconstructionBeatsStaleDatabase) {
+TEST(UpdatePipeline, ShapeMismatchIsInvalidArgument) {
+  const auto& run = iup::test::office_run();
+  Engine engine;
+  const auto mismatched = engine.register_site(
+      "office", run.ground_truth.at_day(0), linalg::Matrix(8, 90));
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UpdatePipeline, ReconstructionBeatsStaleDatabase) {
   const auto& run = iup::test::office_run();
   const auto& x0 = run.ground_truth.at_day(0);
-  const IUpdater updater(x0, run.b_mask);
+  Engine engine = office_engine(run);
+  const auto cells = engine.reference_cells("office").value();
   for (std::size_t day : {std::size_t{15}, std::size_t{45}}) {
-    const auto inputs =
-        eval::collect_update_inputs(run, updater.reference_cells(), day);
-    const auto report = updater.reconstruct(inputs);
-    const auto fresh = eval::score_reconstruction(run, report.x_hat, day);
+    const auto result = engine.reconstruct(
+        eval::collect_update_request(run, "office", cells, day));
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    const auto fresh = eval::score_reconstruction(run, result.value().x_hat(),
+                                                  day);
     const auto stale = eval::score_reconstruction(run, x0, day);
     EXPECT_LT(fresh.mean_db, 0.7 * stale.mean_db) << "day " << day;
   }
 }
 
-TEST(Updater, ReconstructIsConst) {
+TEST(UpdatePipeline, ReconstructDoesNotCommit) {
   const auto& run = iup::test::office_run();
-  const auto& x0 = run.ground_truth.at_day(0);
-  IUpdater updater(x0, run.b_mask);
-  const auto inputs =
-      eval::collect_update_inputs(run, updater.reference_cells(), 45);
-  (void)updater.reconstruct(inputs);
-  // Database unchanged.
-  EXPECT_TRUE(updater.database().approx_equal(x0, 0.0));
+  Engine engine = office_engine(run);
+  const auto cells = engine.reference_cells("office").value();
+  const auto result = engine.reconstruct(
+      eval::collect_update_request(run, "office", cells, 45));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().committed_version, 0u);
+  // Served database unchanged.
+  const auto snapshot = engine.snapshot("office").value();
+  EXPECT_EQ(snapshot->version(), 1u);
+  EXPECT_TRUE(
+      snapshot->database().approx_equal(run.ground_truth.at_day(0), 0.0));
 }
 
-TEST(Updater, UpdateCommitsDatabase) {
+TEST(UpdatePipeline, UpdateCommitsDatabase) {
   const auto& run = iup::test::office_run();
-  const auto& x0 = run.ground_truth.at_day(0);
-  IUpdater updater(x0, run.b_mask);
-  const auto inputs =
-      eval::collect_update_inputs(run, updater.reference_cells(), 45);
-  const auto report = updater.update(inputs);
-  EXPECT_TRUE(updater.database().approx_equal(report.x_hat, 0.0));
+  Engine engine = office_engine(run);
+  const auto cells = engine.reference_cells("office").value();
+  const auto result = engine.update(
+      eval::collect_update_request(run, "office", cells, 45));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto snapshot = engine.snapshot("office").value();
+  EXPECT_EQ(snapshot->version(), result.value().committed_version);
+  EXPECT_TRUE(snapshot->database().approx_equal(result.value().x_hat(), 0.0));
 }
 
-TEST(Updater, SequentialUpdatesStayAccurate) {
-  // Update at 15 then 45 days with refresh_correlation: errors must stay
-  // in the same band as a one-shot update (the "latest updated" database
-  // remains a valid correlation source).
+TEST(UpdatePipeline, SequentialUpdatesStayAccurate) {
+  // Update at 15 then 45 days (the correlation refreshes after each
+  // commit): errors must stay in the same band as a one-shot update (the
+  // "latest updated" database remains a valid correlation source).
   const auto& run = iup::test::office_run();
-  const auto& x0 = run.ground_truth.at_day(0);
-  IUpdater sequential(x0, run.b_mask);
+  Engine sequential = office_engine(run);
+  const auto cells = sequential.reference_cells("office").value();
   (void)sequential.update(
-      eval::collect_update_inputs(run, sequential.reference_cells(), 15));
+      eval::collect_update_request(run, "office", cells, 15));
   const auto rep45 = sequential.update(
-      eval::collect_update_inputs(run, sequential.reference_cells(), 45));
-  const auto seq_score = eval::score_reconstruction(run, rep45.x_hat, 45);
+      eval::collect_update_request(run, "office", cells, 45));
+  ASSERT_TRUE(rep45.ok()) << rep45.status().to_string();
+  const auto seq_score =
+      eval::score_reconstruction(run, rep45.value().x_hat(), 45);
 
-  const IUpdater oneshot(x0, run.b_mask);
+  Engine oneshot = office_engine(run);
   const auto one_rep = oneshot.reconstruct(
-      eval::collect_update_inputs(run, oneshot.reference_cells(), 45));
-  const auto one_score = eval::score_reconstruction(run, one_rep.x_hat, 45);
+      eval::collect_update_request(run, "office", cells, 45));
+  ASSERT_TRUE(one_rep.ok()) << one_rep.status().to_string();
+  const auto one_score =
+      eval::score_reconstruction(run, one_rep.value().x_hat(), 45);
 
   EXPECT_LT(seq_score.mean_db, 2.0 * one_score.mean_db + 0.5);
 }
 
-TEST(Updater, SetReferenceCellsOverrides) {
+TEST(UpdatePipeline, SetReferenceCellsOverrides) {
   const auto& run = iup::test::office_run();
-  IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
-  std::vector<std::size_t> cells = {0, 13, 26, 39, 52, 65, 78, 91, 95};
-  updater.set_reference_cells(cells);
-  EXPECT_EQ(updater.reference_cells(), cells);
-  EXPECT_EQ(updater.correlation().rows(), 9u);
-  const auto inputs = eval::collect_update_inputs(run, cells, 45);
-  const auto report = updater.reconstruct(inputs);
-  EXPECT_EQ(report.reference_count, 9u);
+  Engine engine = office_engine(run);
+  const std::vector<std::size_t> raw = {0, 13, 26, 39, 52, 65, 78, 91, 95};
+  const std::vector<CellId> cells = to_cell_ids(raw);
+  ASSERT_TRUE(engine.set_reference_cells("office", cells).ok());
+  EXPECT_EQ(engine.reference_cells("office").value(), cells);
+  const auto snapshot = engine.snapshot("office").value();
+  EXPECT_EQ(snapshot->correlation().rows(), 9u);
+  const auto result = engine.reconstruct(
+      eval::collect_update_request(run, "office", cells, 45));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().reference_count, 9u);
 }
 
-TEST(Updater, WrongReferenceMatrixWidthThrows) {
+TEST(UpdatePipeline, WrongReferenceMatrixWidthIsInvalidArgument) {
   const auto& run = iup::test::office_run();
-  const IUpdater updater(run.ground_truth.at_day(0), run.b_mask);
-  core::UpdateInputs inputs;
-  inputs.x_b = linalg::Matrix(8, 96);
-  inputs.x_r = linalg::Matrix(8, 3);  // needs 8 columns
-  EXPECT_THROW((void)updater.reconstruct(inputs), std::invalid_argument);
+  Engine engine = office_engine(run);
+  api::UpdateRequest request;
+  request.site = "office";
+  request.inputs.x_b = linalg::Matrix(8, 96);
+  request.inputs.x_r = linalg::Matrix(8, 3);  // needs 8 columns
+  const auto result = engine.reconstruct(request);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(Updater, FewerReferencesDegradeReconstruction) {
+TEST(UpdatePipeline, FewerReferencesDegradeReconstruction) {
   // Fig. 14: dropping one of the selected reference locations hurts.
   const auto& run = iup::test::office_run();
-  const auto& x0 = run.ground_truth.at_day(0);
-  IUpdater full(x0, run.b_mask);
-  const auto full_cells = full.reference_cells();
+  Engine full = office_engine(run);
+  const auto full_cells = full.reference_cells("office").value();
   const auto full_rep = full.reconstruct(
-      eval::collect_update_inputs(run, full_cells, 45));
+      eval::collect_update_request(run, "office", full_cells, 45));
+  ASSERT_TRUE(full_rep.ok()) << full_rep.status().to_string();
   const double full_err =
-      eval::score_reconstruction(run, full_rep.x_hat, 45).mean_db;
+      eval::score_reconstruction(run, full_rep.value().x_hat(), 45).mean_db;
 
-  IUpdater fewer(x0, run.b_mask);
-  std::vector<std::size_t> seven(full_cells.begin(), full_cells.end() - 1);
-  fewer.set_reference_cells(seven);
+  Engine fewer = office_engine(run);
+  const std::vector<CellId> seven(full_cells.begin(), full_cells.end() - 1);
+  ASSERT_TRUE(fewer.set_reference_cells("office", seven).ok());
   const auto fewer_rep = fewer.reconstruct(
-      eval::collect_update_inputs(run, seven, 45));
+      eval::collect_update_request(run, "office", seven, 45));
+  ASSERT_TRUE(fewer_rep.ok()) << fewer_rep.status().to_string();
   const double fewer_err =
-      eval::score_reconstruction(run, fewer_rep.x_hat, 45).mean_db;
+      eval::score_reconstruction(run, fewer_rep.value().x_hat(), 45).mean_db;
 
   EXPECT_GT(fewer_err, full_err);
 }

@@ -67,6 +67,72 @@ TEST(ObservationBuffer, QuarantinesByReasonAndKeepsMeans) {
   EXPECT_EQ(health.observations_accepted.load(), 3u);
 }
 
+TEST(ObservationBuffer, SourceTableQuarantinesMisattributedReadings) {
+  serve::SiteHealthCounters health;
+  std::vector<SourceInfo> sources;
+  for (std::size_t i = 0; i < 8; ++i) {
+    sources.push_back({SourceId(500 + i), Technology::kBle});
+  }
+  ObservationBuffer buffer(8, 96, sources, health);
+  EXPECT_EQ(buffer.sources(), sources);
+
+  // Correct attribution is accepted.
+  Observation good{2, 40, -50.0, 5, SourceId(502)};
+  ASSERT_TRUE(buffer.push(good).ok());
+
+  // Another link's source, an unknown id, and an unattributed reading
+  // are all quarantined as kUnknownSource.
+  Observation wrong_link = good;
+  wrong_link.source = SourceId(503);
+  EXPECT_EQ(buffer.push(wrong_link).code(), StatusCode::kInvalidArgument);
+  Observation unknown = good;
+  unknown.source = SourceId(9999);
+  EXPECT_EQ(buffer.push(unknown).code(), StatusCode::kInvalidArgument);
+  Observation unattributed = good;
+  unattributed.source = SourceId();
+  const auto status = buffer.push(unattributed);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("(unspecified)"), std::string::npos)
+      << status.message();
+
+  EXPECT_EQ(health.quarantine_unknown_source.load(), 3u);
+  EXPECT_EQ(health.observations_accepted.load(), 1u);
+  EXPECT_EQ(buffer.size(), 1u);
+
+  // The legacy two-ctor path never source-checks.
+  serve::SiteHealthCounters legacy_health;
+  ObservationBuffer legacy(8, 96, legacy_health);
+  EXPECT_TRUE(legacy.sources().empty());
+  EXPECT_TRUE(legacy.push(unattributed).ok());
+  EXPECT_TRUE(legacy.push(unknown).ok());
+  EXPECT_EQ(legacy_health.quarantine_unknown_source.load(), 0u);
+}
+
+TEST(UpdateSupervisor, WatchWiresTheRegisteredSourceTableIntoTheBuffer) {
+  const auto& run = iup::test::office_run();
+  std::vector<SourceInfo> sources;
+  for (std::size_t i = 0; i < 8; ++i) {
+    sources.push_back({SourceId(100 + i), Technology::kWifi});
+  }
+  api::Engine engine;
+  ASSERT_TRUE(engine
+                  .register_site("office", run.ground_truth.at_day(0),
+                                 run.b_mask, sources)
+                  .ok());
+  UpdateSupervisor supervisor(engine);
+  ASSERT_TRUE(supervisor.watch("office").ok());
+  // A misattributed reading is quarantined at the site's front door and
+  // lands in the site's own health counters.
+  EXPECT_EQ(supervisor.observe("office", {0, 0, -50.0, 1, SourceId(101)})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(
+      supervisor.observe("office", {0, 0, -50.0, 1, SourceId(100)}).ok());
+  const auto health = engine.site_health("office").value();
+  EXPECT_EQ(health.quarantine_unknown_source, 1u);
+  EXPECT_EQ(health.observations_accepted, 1u);
+}
+
 TEST(ObservationBuffer, CapacityBackPressureIsResourceExhausted) {
   serve::SiteHealthCounters health;
   ObservationBufferOptions options;

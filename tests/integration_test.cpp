@@ -1,8 +1,10 @@
-// End-to-end pipeline and failure-injection tests across all three rooms.
+// End-to-end pipeline and failure-injection tests across all three rooms,
+// driven through the api::Engine facade.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "api/engine.hpp"
 #include "baselines/traditional.hpp"
 #include "core/updater.hpp"
 #include "eval/experiment.hpp"
@@ -10,6 +12,15 @@
 
 namespace iup {
 namespace {
+
+api::Engine room_engine(const eval::EnvironmentRun& run,
+                        const std::string& site,
+                        api::EngineConfig config = {}) {
+  api::Engine engine(std::move(config));
+  const auto registered = eval::register_run(engine, run, site);
+  EXPECT_TRUE(registered.ok()) << registered.status().to_string();
+  return engine;
+}
 
 class RoomSweep : public ::testing::TestWithParam<const char*> {
  protected:
@@ -24,11 +35,13 @@ class RoomSweep : public ::testing::TestWithParam<const char*> {
 TEST_P(RoomSweep, UpdateBeatsStaleReconstruction) {
   const auto& r = run();
   const auto& x0 = r.ground_truth.at_day(0);
-  const core::IUpdater updater(x0, r.b_mask);
+  api::Engine engine = room_engine(r, GetParam());
+  const auto cells = engine.reference_cells(GetParam()).value();
   const std::size_t day = 45;
-  const auto rep = updater.reconstruct(
-      eval::collect_update_inputs(r, updater.reference_cells(), day));
-  const auto fresh = eval::score_reconstruction(r, rep.x_hat, day);
+  const auto rep = engine.reconstruct(
+      eval::collect_update_request(r, GetParam(), cells, day));
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  const auto fresh = eval::score_reconstruction(r, rep.value().x_hat(), day);
   const auto stale = eval::score_reconstruction(r, x0, day);
   EXPECT_LT(fresh.mean_db, stale.mean_db);
 }
@@ -36,12 +49,14 @@ TEST_P(RoomSweep, UpdateBeatsStaleReconstruction) {
 TEST_P(RoomSweep, UpdateBeatsStaleLocalization) {
   const auto& r = run();
   const auto& x0 = r.ground_truth.at_day(0);
-  const core::IUpdater updater(x0, r.b_mask);
+  api::Engine engine = room_engine(r, GetParam());
+  const auto cells = engine.reference_cells(GetParam()).value();
   const std::size_t day = 45;
-  const auto rep = updater.reconstruct(
-      eval::collect_update_inputs(r, updater.reference_cells(), day));
+  const auto rep = engine.reconstruct(
+      eval::collect_update_request(r, GetParam(), cells, day));
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
   const auto fresh = eval::localization_errors(
-      r, rep.x_hat, eval::LocalizerKind::kOmp, day, 5);
+      r, rep.value().x_hat(), eval::LocalizerKind::kOmp, day, 5);
   const auto stale = eval::localization_errors(
       r, x0, eval::LocalizerKind::kOmp, day, 5);
   EXPECT_LT(eval::mean_of(fresh), eval::mean_of(stale));
@@ -49,17 +64,20 @@ TEST_P(RoomSweep, UpdateBeatsStaleLocalization) {
 
 TEST_P(RoomSweep, ReferenceCountEqualsLinkCount) {
   const auto& r = run();
-  const core::IUpdater updater(r.ground_truth.at_day(0), r.b_mask);
-  EXPECT_EQ(updater.reference_cells().size(), r.testbed.num_links());
+  api::Engine engine = room_engine(r, GetParam());
+  EXPECT_EQ(engine.reference_cells(GetParam()).value().size(),
+            r.testbed.num_links());
 }
 
 TEST_P(RoomSweep, ErrorGrowsWithUpdateInterval) {
   const auto& r = run();
-  const core::IUpdater updater(r.ground_truth.at_day(0), r.b_mask);
+  api::Engine engine = room_engine(r, GetParam());
+  const auto cells = engine.reference_cells(GetParam()).value();
   const auto err_at = [&](std::size_t day) {
-    const auto rep = updater.reconstruct(
-        eval::collect_update_inputs(r, updater.reference_cells(), day));
-    return eval::score_reconstruction(r, rep.x_hat, day).mean_db;
+    const auto rep = engine.reconstruct(
+        eval::collect_update_request(r, GetParam(), cells, day));
+    EXPECT_TRUE(rep.ok()) << rep.status().to_string();
+    return eval::score_reconstruction(r, rep.value().x_hat(), day).mean_db;
   };
   // Fig. 18 trend: 3 months is harder than 3 days (allow generous slack
   // for per-stamp noise but insist on the long-horizon ordering).
@@ -73,14 +91,17 @@ TEST(FailureInjection, DeadLinkInReferenceSurvey) {
   // A reference survey where one link died (sensitivity floor readings)
   // must not crash the solver nor destroy the other rows' reconstruction.
   const auto& r = test::office_run();
-  const auto& x0 = r.ground_truth.at_day(0);
-  const core::IUpdater updater(x0, r.b_mask);
-  auto inputs = eval::collect_update_inputs(r, updater.reference_cells(), 45);
-  for (std::size_t k = 0; k < inputs.x_r.cols(); ++k) {
-    inputs.x_r(3, k) = -95.0;  // link 3 dead during the survey
+  api::Engine engine = room_engine(r, "office");
+  const auto cells = engine.reference_cells("office").value();
+  api::UpdateRequest request =
+      eval::collect_update_request(r, "office", cells, 45);
+  for (std::size_t k = 0; k < request.inputs.x_r.cols(); ++k) {
+    request.inputs.x_r(3, k) = -95.0;  // link 3 dead during the survey
   }
-  const auto rep = updater.reconstruct(inputs);
-  for (double v : rep.x_hat.data()) EXPECT_TRUE(std::isfinite(v));
+  const auto rep = engine.reconstruct(request);
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  const auto& x_hat = rep.value().x_hat();
+  for (double v : x_hat.data()) EXPECT_TRUE(std::isfinite(v));
   // Rows other than 3 stay reasonable.
   double err = 0.0;
   std::size_t cnt = 0;
@@ -89,7 +110,7 @@ TEST(FailureInjection, DeadLinkInReferenceSurvey) {
     if (i == 3) continue;
     for (std::size_t j = 0; j < 96; ++j) {
       if (r.b_mask(i, j) == 0.0) {
-        err += std::abs(rep.x_hat(i, j) - truth(i, j));
+        err += std::abs(x_hat(i, j) - truth(i, j));
         ++cnt;
       }
     }
@@ -100,17 +121,20 @@ TEST(FailureInjection, DeadLinkInReferenceSurvey) {
 TEST(FailureInjection, OutlierBurstInNoDecreaseMatrix) {
   const auto& r = test::office_run();
   const auto& x0 = r.ground_truth.at_day(0);
-  const core::IUpdater updater(x0, r.b_mask);
-  auto inputs = eval::collect_update_inputs(r, updater.reference_cells(), 45);
+  api::Engine engine = room_engine(r, "office");
+  const auto cells = engine.reference_cells("office").value();
+  api::UpdateRequest request =
+      eval::collect_update_request(r, "office", cells, 45);
   // Inject a 10 dB interference burst into a handful of observed entries.
   rng::Rng rng(4242);
   for (int k = 0; k < 20; ++k) {
     const std::size_t i = rng.uniform_index(8);
     const std::size_t j = rng.uniform_index(96);
-    if (r.b_mask(i, j) != 0.0) inputs.x_b(i, j) -= 10.0;
+    if (r.b_mask(i, j) != 0.0) request.inputs.x_b(i, j) -= 10.0;
   }
-  const auto rep = updater.reconstruct(inputs);
-  const auto score = eval::score_reconstruction(r, rep.x_hat, 45);
+  const auto rep = engine.reconstruct(request);
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  const auto score = eval::score_reconstruction(r, rep.value().x_hat(), 45);
   const auto stale = eval::score_reconstruction(r, x0, 45);
   EXPECT_LT(score.mean_db, stale.mean_db);  // still better than no update
 }
@@ -123,13 +147,17 @@ TEST(FailureInjection, RankDeficientFingerprintStillWorks) {
   x0.set_row(7, x0.row_span(6));  // clone link 6 into link 7
   linalg::Matrix mask = r.b_mask;
   mask.set_row(7, mask.row_span(6));
-  core::UpdaterConfig cfg;
-  cfg.rsvd.rank = 7;
-  const core::IUpdater updater(x0, mask, cfg);
-  EXPECT_LE(updater.reference_cells().size(), 8u);
-  auto inputs = eval::collect_update_inputs(r, updater.reference_cells(), 15);
-  const auto rep = updater.reconstruct(inputs);
-  for (double v : rep.x_hat.data()) EXPECT_TRUE(std::isfinite(v));
+  core::RsvdOptions rsvd;
+  rsvd.rank = 7;
+  api::Engine engine(api::EngineConfig().rsvd(rsvd));
+  const auto registered = engine.register_site("office", x0, mask);
+  ASSERT_TRUE(registered.ok()) << registered.status().to_string();
+  const auto cells = engine.reference_cells("office").value();
+  EXPECT_LE(cells.size(), 8u);
+  const auto rep = engine.reconstruct(
+      eval::collect_update_request(r, "office", cells, 15));
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  for (double v : rep.value().x_hat().data()) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(Integration, FiftyPercentWithConstraintMatchesFullResurvey) {

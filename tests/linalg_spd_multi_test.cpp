@@ -10,7 +10,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "core/self_augmented.hpp"
+#include "eval/experiment.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kernels/kernels.hpp"
 #include "linalg/matrix.hpp"
@@ -283,21 +285,23 @@ TEST(MaskGroupedSweep, OfficeTestbedReconstructionIsGroupedAndIdentical) {
   // concentrates the grid columns on a handful of signatures; the grouped
   // default must reproduce the ungrouped reconstruction bit for bit.
   const auto& run = test::office_run();
-  core::UpdaterConfig grouped_cfg;
-  core::UpdaterConfig plain_cfg;
-  plain_cfg.rsvd.group_masks = false;
-  const core::IUpdater grouped(run.ground_truth.at_day(0), run.b_mask,
-                               grouped_cfg);
-  const core::IUpdater plain(run.ground_truth.at_day(0), run.b_mask,
-                             plain_cfg);
-  const auto inputs =
-      eval::collect_update_inputs(run, grouped.reference_cells(), 45);
-  const auto a = grouped.reconstruct(inputs);
-  const auto b = plain.reconstruct(inputs);
-  EXPECT_GT(a.solver.mask_groups, 0u);
-  EXPECT_GE(a.solver.grouped_columns, run.b_mask.cols() / 2);
-  EXPECT_EQ(a.x_hat, b.x_hat);
-  EXPECT_EQ(a.solver.objective_history, b.solver.objective_history);
+  core::RsvdOptions plain_rsvd;
+  plain_rsvd.group_masks = false;
+  api::Engine grouped;
+  api::Engine plain(api::EngineConfig().rsvd(plain_rsvd));
+  ASSERT_TRUE(eval::register_run(grouped, run, "office").ok());
+  ASSERT_TRUE(eval::register_run(plain, run, "office").ok());
+  const auto cells = grouped.reference_cells("office").value();
+  const auto request = eval::collect_update_request(run, "office", cells, 45);
+  const auto a = grouped.reconstruct(request);
+  const auto b = plain.reconstruct(request);
+  ASSERT_TRUE(a.ok()) << a.status().to_string();
+  ASSERT_TRUE(b.ok()) << b.status().to_string();
+  EXPECT_GT(a.value().solver.mask_groups, 0u);
+  EXPECT_GE(a.value().solver.grouped_columns, run.b_mask.cols() / 2);
+  EXPECT_EQ(a.value().x_hat(), b.value().x_hat());
+  EXPECT_EQ(a.value().solver.objective_history,
+            b.value().solver.objective_history);
 }
 
 }  // namespace

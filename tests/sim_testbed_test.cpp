@@ -215,6 +215,66 @@ TEST(FingerprintBuilder, NoDecreaseMatrixZeroOutsideMask) {
   }
 }
 
+TEST(MixedRadioTestbed, SourceTableAndGainsAreWired) {
+  const Testbed testbed = make_mixed_radio_testbed();
+  ASSERT_EQ(testbed.sources().size(), testbed.num_links());
+  EXPECT_EQ(testbed.sources(), mixed_radio_sources(testbed.num_links()));
+  // Three technologies present, each with its own link budget.
+  const std::size_t third = testbed.num_links() / 3;
+  EXPECT_EQ(testbed.sources()[0].technology, Technology::kWifi);
+  EXPECT_EQ(testbed.sources()[third].technology, Technology::kBle);
+  EXPECT_EQ(testbed.sources().back().technology, Technology::kLora);
+  EXPECT_DOUBLE_EQ(testbed.source_gain_db(0), 0.0);
+  EXPECT_LT(testbed.source_gain_db(third), 0.0);   // BLE weaker
+  EXPECT_GT(testbed.source_gain_db(testbed.num_links() - 1), 0.0);  // LoRa
+  // The gain is a plain dB offset on the mean path: zeroing the gain
+  // table shifts every reading of the link by exactly its budget.
+  Testbed flat = testbed;
+  flat.set_sources(testbed.sources(), {});
+  EXPECT_DOUBLE_EQ(
+      testbed.mean_rss(third, 0, 0) - flat.mean_rss(third, 0, 0),
+      testbed.source_gain_db(third));
+}
+
+TEST(MixedRadioTestbed, LegacyTestbedsCarryDegenerateSourceTable) {
+  const Testbed office = make_office_testbed();
+  EXPECT_EQ(office.sources(), single_technology_sources(office.num_links()));
+  EXPECT_EQ(office.sensing_mode(), SensingMode::kDeviceFree);
+  EXPECT_TRUE(office.missing_sources().empty());
+  EXPECT_DOUBLE_EQ(office.source_gain_db(0), 0.0);
+}
+
+TEST(MixedRadioTestbed, MissingSourcesAreFlaggedPerLink) {
+  MixedRadioOptions options;
+  options.missing_sources = {SourceId(200 + options.num_links / 3)};
+  const Testbed testbed = make_mixed_radio_testbed(options);
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < testbed.num_links(); ++i) {
+    if (testbed.source_missing(i)) ++missing;
+  }
+  EXPECT_EQ(missing, 1u);
+  EXPECT_TRUE(testbed.source_missing(options.num_links / 3));
+}
+
+TEST(MixedRadioTestbed, DeviceBasedModeChangesTheObservationModel) {
+  MixedRadioOptions device_free;
+  MixedRadioOptions device_based;
+  device_based.mode = SensingMode::kDeviceBased;
+  const Testbed free_tb = make_mixed_radio_testbed(device_free);
+  const Testbed based_tb = make_mixed_radio_testbed(device_based);
+  EXPECT_EQ(based_tb.sensing_mode(), SensingMode::kDeviceBased);
+  // Same seed, same geometry: baselines (no target) agree, but a target
+  // present reads differently — device-based RSS is transmitter-to-
+  // receiver, not link perturbation.
+  EXPECT_DOUBLE_EQ(free_tb.mean_baseline_rss(0, 0),
+                   based_tb.mean_baseline_rss(0, 0));
+  bool differs = false;
+  for (std::size_t j = 0; j < free_tb.num_cells() && !differs; ++j) {
+    differs = free_tb.mean_rss(0, j, 0) != based_tb.mean_rss(0, j, 0);
+  }
+  EXPECT_TRUE(differs);
+}
+
 TEST(FingerprintBuilder, ReferenceMatrixShapeAndValues) {
   const auto& run = iup::test::office_run();
   Sampler s(run.testbed, "xr");
