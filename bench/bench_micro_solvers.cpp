@@ -8,6 +8,9 @@
 // BENCH_micro.json (previous run kept as "before").
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "api/engine.hpp"
 #include "baselines/rass.hpp"
 #include "core/lrr.hpp"
@@ -21,6 +24,9 @@
 #include "linalg/kernels/kernels.hpp"
 #include "linalg/svd.hpp"
 #include "loc/omp.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/durability.hpp"
+#include "persist/wal.hpp"
 #include "rng/rng.hpp"
 
 namespace {
@@ -358,6 +364,101 @@ void BM_DriftDetector(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DriftDetector);
+
+// --- PR 9 additions (durability: checkpoint + WAL), appended last per
+// the code-layout note above.
+
+// A self-deleting durability directory shared by one benchmark's setup.
+struct BenchDir {
+  BenchDir() {
+    std::string tmpl = "/tmp/iup-bench-persist-XXXXXX";
+    if (::mkdtemp(tmpl.data()) != nullptr) path = tmpl;
+  }
+  ~BenchDir() {
+    if (!path.empty()) std::filesystem::remove_all(path);
+  }
+  std::string path;
+};
+
+// Full checkpoint publication for the three-commit office engine:
+// collect the image under the state lock, encode, write temp + fsync +
+// rename.  This is the cost a checkpoint roll adds OFF the commit path
+// (the DurabilityManager runs it outside the engine's commit lock).
+void BM_CheckpointSave(benchmark::State& state) {
+  const auto& run = office();
+  api::Engine engine(api::EngineConfig().threads(1));
+  eval::register_run(engine, run, "office");
+  const auto cells = engine.reference_cells("office").value();
+  for (const std::size_t day : {30ul, 60ul}) {
+    engine.update(eval::collect_update_request(run, "office", cells, day));
+  }
+  static BenchDir dir;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.save_checkpoint(dir.path));
+  }
+}
+BENCHMARK(BM_CheckpointSave);
+
+// One committed snapshot framed + appended to the log; Arg(1) adds the
+// per-record fsync (the durability knob's true price — on CI's tmpfs it
+// is nearly free, on a real disk it dominates).  The log is re-truncated
+// periodically so the bench never fills /tmp.
+void BM_WalAppend(benchmark::State& state) {
+  const auto& run = office();
+  api::Engine engine(api::EngineConfig().threads(1));
+  eval::register_run(engine, run, "office");
+  persist::WalRecord record;
+  record.snapshot = engine.snapshot("office").value();
+  const bool do_fsync = state.range(0) != 0;
+  static BenchDir dir;
+  persist::WalWriter wal;
+  if (!wal.open(dir.path + "/WAL-bench", /*truncate=*/true).ok()) {
+    state.SkipWithError("cannot open WAL");
+    return;
+  }
+  std::uint64_t appended = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.append(record, do_fsync));
+    if (++appended % 256 == 0) {
+      state.PauseTiming();
+      benchmark::DoNotOptimize(
+          wal.open(dir.path + "/WAL-bench", /*truncate=*/true));
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1);
+
+// Cold recovery into a fresh engine: load + CRC-check the checkpoint,
+// replay the WAL suffix, rebuild localizers, publish.  The directory
+// holds the six-commit office run rolled at checkpoint_every=4, so the
+// replayed suffix is two records — the steady-state crash-restart shape.
+void BM_Recover(benchmark::State& state) {
+  const auto& run = office();
+  static BenchDir dir;
+  static const bool prepared = [&]() {
+    persist::DurabilityManager manager(
+        {dir.path, /*checkpoint_every=*/4, /*fsync=*/true});
+    api::Engine engine(
+        api::EngineConfig().threads(1).update_hooks(manager.engine_hooks()));
+    if (!manager.bind(&engine).ok()) return false;
+    eval::register_run(engine, run, "office");
+    const auto cells = engine.reference_cells("office").value();
+    for (const std::size_t day : {15ul, 30ul, 45ul, 60ul, 75ul}) {
+      engine.update(eval::collect_update_request(run, "office", cells, day));
+    }
+    return true;
+  }();
+  if (!prepared) {
+    state.SkipWithError("durable setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    api::Engine recovered(api::EngineConfig().threads(1));
+    benchmark::DoNotOptimize(recovered.restore_from(dir.path));
+  }
+}
+BENCHMARK(BM_Recover);
 
 }  // namespace
 

@@ -26,12 +26,26 @@
 // observation, and — the recovery contract — every watched site back to
 // HEALTHY on a freshly committed version once faults cleared.
 //
-// Usage: bench_serve_soak [duration_s] [readers] [sites] [update_ms] [chaos]
+// RECOVER MODE (arg "recover", or RECOVER=1 through scripts/soak.sh,
+// composable with chaos): a persist::DurabilityManager journals every
+// commit of the soak to a scratch directory (WAL + periodic checkpoint
+// rolls) while the fleet hammers the read path — the WAL fsyncs ride the
+// committing threads, so the zero-violations verdict doubles as proof
+// that durability adds nothing to the lock-free serve path.  After the
+// run a SECOND engine recovers from the directory and must serve
+// bit-identical localizations at the same version as the live engine.
+//
+// Usage: bench_serve_soak [duration_s] [readers] [sites] [update_ms]
+//                         [chaos] [recover]
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +54,7 @@
 #include "eval/experiment.hpp"
 #include "ingest/faults.hpp"
 #include "ingest/supervisor.hpp"
+#include "persist/durability.hpp"
 #include "serve/front.hpp"
 #include "serve/shard.hpp"
 #include "sim/sampler.hpp"
@@ -55,6 +70,7 @@ struct SoakConfig {
   std::size_t sites = 2;
   std::size_t update_period_ms = 250;
   bool chaos = false;
+  bool recover = false;
 };
 
 struct ReaderStats {
@@ -82,14 +98,15 @@ int main(int argc, char** argv) {
   if (argc > 4) {
     config.update_period_ms = static_cast<std::size_t>(std::atol(argv[4]));
   }
-  if (argc > 5) {
-    const std::string flag = argv[5];
-    config.chaos = (flag == "chaos" || flag == "1");
+  for (int a = 5; a < argc; ++a) {
+    const std::string flag = argv[a];
+    if (flag == "chaos" || flag == "1") config.chaos = true;
+    if (flag == "recover") config.recover = true;
   }
   if (config.duration_s <= 0 || config.readers == 0 || config.sites == 0) {
     std::fprintf(stderr,
                  "usage: %s [duration_s] [readers] [sites] [update_ms] "
-                 "[chaos]\n",
+                 "[chaos] [recover]\n",
                  argv[0]);
     return 2;
   }
@@ -100,16 +117,45 @@ int main(int argc, char** argv) {
   // cheap enough that the sanitizer-slowed run still cycles the whole
   // fail -> degrade -> recover arc inside the soak window.
   ingest::FaultInjector faults(0xC7A05EEDULL);
+  std::optional<persist::DurabilityManager> durability;
+  std::string durable_dir;
+  if (config.recover) {
+    std::string tmpl = "/tmp/iup-soak-recover-XXXXXX";
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      std::fprintf(stderr, "mkdtemp for the durability dir failed\n");
+      return 1;
+    }
+    durable_dir = tmpl;
+    durability.emplace(
+        persist::DurabilityOptions{durable_dir, /*checkpoint_every=*/8,
+                                   /*fsync=*/true});
+  }
   api::EngineConfig engine_config;
   engine_config.history_limit(4);
-  if (config.chaos) {
-    core::RsvdOptions rsvd;
-    rsvd.stagnation_tol = 1e-3;
-    engine_config.rsvd(rsvd).update_hooks(faults.engine_hooks());
+  {
+    api::UpdateHooks hooks;
+    if (config.chaos) {
+      core::RsvdOptions rsvd;
+      rsvd.stagnation_tol = 1e-3;
+      engine_config.rsvd(rsvd);
+      hooks = faults.engine_hooks();
+    }
+    // Durability composes OUTSIDE the injector: its after_commit tap sees
+    // only commits that actually published, faults and all.
+    if (durability) hooks = durability->engine_hooks(std::move(hooks));
+    engine_config.update_hooks(std::move(hooks));
   }
   // Tight history limit: the background updates evict snapshots while
   // readers hold published bundles — the evict-while-read soak.
   api::Engine engine(engine_config);
+  if (durability) {
+    const auto bound = durability->bind(&engine);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "durability bind: %s\n",
+                   bound.to_string().c_str());
+      return 1;
+    }
+  }
   std::vector<std::string> sites;
   for (std::size_t s = 0; s < config.sites; ++s) {
     sites.push_back("site-" + std::to_string(s));
@@ -420,6 +466,69 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(queries),
                  static_cast<unsigned long long>(updates_committed.load()));
     return 1;
+  }
+
+  if (durability) {
+    // Recovery verdict: a second engine restored from the journal must
+    // serve the exact state the live engine ended the soak on —
+    // same latest version per site, byte-identical database, and
+    // bit-identical localize answers for a probe panel.
+    const auto durable_error = durability->last_error();
+    if (!durable_error.ok()) {
+      std::fprintf(stderr, "recover: durability degraded mid-soak: %s\n",
+                   durable_error.to_string().c_str());
+      return 1;
+    }
+    persist::DurabilityManager reader(
+        persist::DurabilityOptions{durable_dir, 8, true});
+    api::Engine recovered(
+        api::EngineConfig().history_limit(4).update_hooks(
+            reader.engine_hooks()));
+    const auto recovered_status = reader.recover(&recovered);
+    if (!recovered_status.ok()) {
+      std::fprintf(stderr, "recover: %s\n",
+                   recovered_status.to_string().c_str());
+      return 1;
+    }
+    int recover_rc = 0;
+    sim::Sampler probe_sampler(run.testbed, "recover-probe");
+    for (const std::string& site : sites) {
+      const auto live = engine.store().latest(site);
+      const auto back = recovered.store().latest(site);
+      if (!live.ok() || !back.ok() ||
+          live.value()->version() != back.value()->version() ||
+          !(live.value()->database() == back.value()->database())) {
+        std::fprintf(stderr, "recover: %s state diverged (live v%llu, "
+                     "recovered v%llu)\n", site.c_str(),
+                     live.ok() ? static_cast<unsigned long long>(
+                                     live.value()->version()) : 0ull,
+                     back.ok() ? static_cast<unsigned long long>(
+                                     back.value()->version()) : 0ull);
+        recover_rc = 1;
+        continue;
+      }
+      for (std::size_t p = 0; p < 8; ++p) {
+        const auto query =
+            probe_sampler.online_measurement((p * 13) % cells, 15, 1);
+        const auto a = engine.localize(site, query);
+        const auto b = recovered.localize(site, query);
+        if (!a.ok() || !b.ok() || a.value().cell != b.value().cell ||
+            a.value().score != b.value().score) {
+          std::fprintf(stderr, "recover: %s probe %zu diverged\n",
+                       site.c_str(), p);
+          recover_rc = 1;
+          break;
+        }
+      }
+    }
+    std::printf("  recover   %llu WAL appends, %llu checkpoints, recovered "
+                "engine bit-identical: %s\n",
+                static_cast<unsigned long long>(durability->wal_appends()),
+                static_cast<unsigned long long>(
+                    durability->checkpoints_written()),
+                recover_rc == 0 ? "yes" : "NO");
+    std::filesystem::remove_all(durable_dir);
+    if (recover_rc != 0) return recover_rc;
   }
 
   if (config.chaos) {

@@ -74,6 +74,12 @@ ROW_NOISE_FLOORS = [
     # is turbo lottery, so these rows warn rather than gate.
     (r"^BM_IngestObservation", 50000.0),
     (r"^BM_DriftDetector", 50000.0),
+    # Durability rows measure the filesystem (page cache, fsync, rename),
+    # not the solver code: on a shared CI box their wall clock swings with
+    # whatever else is hitting the disk, so they warn rather than gate.
+    (r"^BM_CheckpointSave", 1.0e8),
+    (r"^BM_WalAppend", 1.0e8),
+    (r"^BM_Recover", 1.0e8),
 ]
 
 

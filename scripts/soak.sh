@@ -10,6 +10,10 @@
 #   SANITIZE=thread scripts/soak.sh        TSan soak (CI smoke job)
 #   SANITIZE=address scripts/soak.sh       ASan+UBSan soak
 #   CHAOS=1 scripts/soak.sh                fault-injected supervised soak
+#   RECOVER=1 scripts/soak.sh              journal every commit, then prove
+#                                          a recovered engine serves
+#                                          bit-identically (composes with
+#                                          CHAOS)
 #
 # Sanitized runs build Debug (matching scripts/ci.sh) into their own build
 # tree; plain runs build Release.
@@ -22,9 +26,12 @@ SITES=${SITES:-2}
 UPDATE_MS=${UPDATE_MS:-250}
 SANITIZE=${SANITIZE:-}
 CHAOS=${CHAOS:-}
+RECOVER=${RECOVER:-}
 
 if [ -n "$SANITIZE" ]; then
-  BUILD_DIR=${BUILD_DIR:-build-soak-$SANITIZE}
+  # A comma list like SANITIZE=address,undefined must not leak commas into
+  # the directory name (they break cmake -B and tab completion alike).
+  BUILD_DIR=${BUILD_DIR:-build-soak-${SANITIZE//,/-}}
   CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Debug -DIUP_SANITIZE="$SANITIZE")
 else
   BUILD_DIR=${BUILD_DIR:-build-soak}
@@ -47,5 +54,8 @@ export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
 SOAK_ARGS=("$DURATION" "$READERS" "$SITES" "$UPDATE_MS")
 if [ -n "$CHAOS" ]; then
   SOAK_ARGS+=(chaos)
+fi
+if [ -n "$RECOVER" ]; then
+  SOAK_ARGS+=(recover)
 fi
 "$BUILD_DIR/bench/bench_serve_soak" "${SOAK_ARGS[@]}"

@@ -259,7 +259,11 @@ Result<SnapshotPtr> Engine::register_site(std::string site,
     shard->publish(std::make_shared<const serve::PublishedSite>(
         serve::PublishedSite{published, std::move(localizer).value()}));
   }
-  cache_warm_state(site, version, nullptr, std::move(lrr_state));
+  cache_warm_state(site, version, nullptr, lrr_state);
+  // Durability tap: registration is a commit like any other (version 1).
+  if (hooks_.after_commit) {
+    hooks_.after_commit(CommitEvent{published, nullptr, std::move(lrr_state)});
+  }
   return published;
 }
 
@@ -351,13 +355,6 @@ Result<std::vector<CellId>> Engine::reference_cells(
   return to_cell_ids(latest.value()->reference_cells());
 }
 
-Result<std::vector<std::size_t>> Engine::reference_cell_indices(
-    const std::string& site) const {
-  Result<SnapshotPtr> latest = snapshot(site);
-  if (!latest.ok()) return latest.status();
-  return latest.value()->reference_cells();
-}
-
 Result<std::vector<SourceInfo>> Engine::sources(
     const std::string& site) const {
   Result<SnapshotPtr> latest = snapshot(site);
@@ -368,11 +365,6 @@ Result<std::vector<SourceInfo>> Engine::sources(
 Status Engine::set_reference_cells(const std::string& site,
                                    std::vector<CellId> cells) {
   return set_reference_cells_impl(site, to_raw_cells(cells));
-}
-
-Status Engine::set_reference_cells(const std::string& site,
-                                   std::vector<std::size_t> cells) {
-  return set_reference_cells_impl(site, std::move(cells));
 }
 
 Status Engine::set_reference_cells_impl(const std::string& site,
@@ -408,6 +400,7 @@ Status Engine::set_reference_cells_impl(const std::string& site,
   if (lrr_warm_enabled_) lrr_state = lrr_state_of(z, std::move(lrr));
 
   std::uint64_t version = 0;
+  SnapshotPtr committed;
   {
     const auto lock = state_lock();
     if (store_.next_version(site) != snap->version() + 1) {
@@ -422,6 +415,7 @@ Status Engine::set_reference_cells_impl(const std::string& site,
         snap->sources());
     if (const Status put = store_.put(next); !put.ok()) return put;
     version = next->version();
+    committed = next;
     if (const auto shard = shards_->find(site); shard != nullptr) {
       // The database is unchanged, so the published localizer matches the
       // new snapshot bit for bit — republish it with the new version
@@ -431,7 +425,11 @@ Status Engine::set_reference_cells_impl(const std::string& site,
           serve::PublishedSite{std::move(next), bundle->localizer}));
     }
   }
-  cache_warm_state(site, version, nullptr, std::move(lrr_state));
+  cache_warm_state(site, version, nullptr, lrr_state);
+  if (hooks_.after_commit) {
+    hooks_.after_commit(
+        CommitEvent{std::move(committed), nullptr, std::move(lrr_state)});
+  }
   return Status();
 }
 
@@ -735,8 +733,12 @@ Result<UpdateResult> Engine::update_impl(const UpdateRequest& request) {
   // The converged factor is the warm start for the next solve reading the
   // committed snapshot; version-paired in the shard cache (see
   // cache_warm_state for why post-lock writes stay consistent).
-  cache_warm_state(request.site, result.committed_version,
-                   std::move(warm_factor), std::move(lrr_state));
+  cache_warm_state(request.site, result.committed_version, warm_factor,
+                   lrr_state);
+  if (hooks_.after_commit) {
+    hooks_.after_commit(CommitEvent{result.snapshot, std::move(warm_factor),
+                                    std::move(lrr_state)});
+  }
   return result;
 }
 

@@ -56,6 +56,12 @@
 #include "serve/registry.hpp"
 #include "serve/shard.hpp"
 
+namespace iup::persist {
+struct EngineImage;
+struct SiteImage;
+struct WalRecord;
+}  // namespace iup::persist
+
 namespace iup::api {
 
 // API v2 vocabulary (base/ids.hpp), re-exported so callers can spell the
@@ -183,18 +189,10 @@ class Engine {
   /// The grid cells a surveyor must visit for the next update, as typed
   /// CellIds (API v2; use CellId::value() at the numeric boundary).
   Result<std::vector<CellId>> reference_cells(const std::string& site) const;
-  /// Raw-index variant kept for one release while callers migrate.
-  [[deprecated("use reference_cells() which returns typed CellIds")]]
-  Result<std::vector<std::size_t>> reference_cell_indices(
-      const std::string& site) const;
   /// Override the reference set (benches evaluate 7 / 8+1 / random sets);
   /// commits a new snapshot version with the re-acquired correlation.
   Status set_reference_cells(const std::string& site,
                              std::vector<CellId> cells);
-  /// Raw-index variant kept for one release while callers migrate.
-  [[deprecated("pass typed CellIds (iup::to_cell_ids bridges raw indices)")]]
-  Status set_reference_cells(const std::string& site,
-                             std::vector<std::size_t> cells);
   /// The site's registered per-link source table; empty for legacy
   /// single-technology registrations.
   Result<std::vector<SourceInfo>> sources(const std::string& site) const;
@@ -261,6 +259,25 @@ class Engine {
   /// tests only.
   Result<SiteHealth> site_health(const std::string& site) const;
 
+  // --- durability (implemented in src/persist/engine_persist.cpp) ------
+  /// Write a durable checkpoint of every site — retained snapshot chain,
+  /// warm-start caches, health counters — into `dir` (created if needed)
+  /// with atomic publication (temp + fsync + rename).  Safe to call
+  /// concurrently with updates: it collects a commit-consistent view per
+  /// site (never holding the commit lock across I/O) and never touches
+  /// the serve read path.
+  Status save_checkpoint(const std::string& dir) const;
+  /// Crash recovery into a FRESH engine (kFailedPrecondition when any
+  /// site is already registered): load `dir`'s checkpoint (if present),
+  /// replay the WAL suffix (torn tail tolerated, mid-stream corruption is
+  /// kDataLoss), republish every site at its recovered latest version and
+  /// reinstall the warm caches so the next solves are bit-identical to an
+  /// uninterrupted run.  kNotFound when `dir` holds no durable state at
+  /// all.  Deployment geometry is not persisted — re-attach after
+  /// restore; the engine's config must match the writer's for
+  /// bit-identity (documented in README).
+  Status restore_from(const std::string& dir);
+
  private:
   /// Shared body of both set_reference_cells overloads (raw indices are
   /// the numeric core's vocabulary).
@@ -319,6 +336,16 @@ class Engine {
   void cache_warm_state(const std::string& site, std::uint64_t version,
                         std::shared_ptr<const linalg::Matrix> factor,
                         std::shared_ptr<const core::LrrWarmStart> lrr) const;
+
+  // --- durability internals (src/persist/engine_persist.cpp) -----------
+  /// Commit-consistent value image of every site for checkpointing.
+  persist::EngineImage collect_persist_image() const;
+  /// Install one checkpointed site into a fresh engine: restore the
+  /// chain, publish the latest version, reinstall warm caches + health.
+  Status install_restored_site(persist::SiteImage image);
+  /// Apply one WAL record during replay (idempotent: versions at or below
+  /// the site's restored latest are skipped; a gap is kDataLoss).
+  Status apply_wal_record(const persist::WalRecord& record);
 
   EngineConfig config_;
   /// config_.update_hooks(): failure-path seams, empty (never consulted)

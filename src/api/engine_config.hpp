@@ -16,6 +16,7 @@
 #include <string>
 #include <utility>
 
+#include "api/snapshot.hpp"
 #include "api/solver_backend.hpp"
 #include "api/status.hpp"
 #include "core/lrr.hpp"
@@ -31,14 +32,28 @@ enum class LocalizerKind {
   kRass,  ///< SVR baseline; needs Engine::attach_deployment
 };
 
-/// Failure-path seams on the update pipeline, default-empty (and then
-/// completely free: a null hook is never consulted, so the default-config
-/// update trajectory is byte-identical with or without this struct).
-/// ingest::FaultInjector::engine_hooks() builds closures for both seams;
-/// they are how the chaos soak forces solver failures, stretches a solve
-/// past its deadline and delays publication at runtime.  Hooks may be
-/// called concurrently (one per in-flight update) and must be
-/// thread-safe.
+/// One successfully committed snapshot, as observed by the after_commit
+/// hook: the exact immutable state a durability layer must write to make
+/// a later restore bit-identical.  The warm-cache pointers mirror what
+/// Engine::cache_warm_state installed for this version (null when the
+/// corresponding cache is disabled or the commit path produced none) —
+/// persisting them matters because the caches change later solver
+/// iterates, so a replay that re-solved from cold caches would drift
+/// from the uninterrupted run at the byte level.
+struct CommitEvent {
+  SnapshotPtr snapshot;  ///< the committed version (never null)
+  std::shared_ptr<const linalg::Matrix> warm_factor;    ///< converged L
+  std::shared_ptr<const core::LrrWarmStart> lrr_state;  ///< ADMM state
+};
+
+/// Failure-path and durability seams on the update pipeline, default-empty
+/// (and then completely free: a null hook is never consulted, so the
+/// default-config update trajectory is byte-identical with or without this
+/// struct).  ingest::FaultInjector::engine_hooks() builds closures for the
+/// failure seams; persist::DurabilityManager::engine_hooks() adds the
+/// after_commit durability tap (and can compose around an inner injector's
+/// hooks).  Hooks may be called concurrently (one per in-flight update)
+/// and must be thread-safe.
 struct UpdateHooks {
   /// Consulted by every solve (update / reconstruct / update_batch) after
   /// request validation, before the solver runs.  A non-OK return fails
@@ -51,6 +66,14 @@ struct UpdateHooks {
   /// bundle — which is how a cooperative deadline is enforced (return
   /// kDeadlineExceeded when `elapsed` is past budget).
   std::function<Status(std::chrono::nanoseconds elapsed)> before_publish;
+  /// Fired once per committed snapshot (register_site,
+  /// set_reference_cells and every update() commit), after publication
+  /// and warm-cache installation, OUTSIDE the commit lock and every shard
+  /// lock.  The commit is already visible to readers, so the hook cannot
+  /// veto it — a durability layer that crashes between publish and its
+  /// WAL append loses at most this in-flight commit, never a published
+  /// prefix.  Runs on the committing thread; keep it cheap or hand off.
+  std::function<void(const CommitEvent&)> after_commit;
 };
 
 class EngineConfig {

@@ -38,6 +38,55 @@ Status SnapshotStore::put(SnapshotPtr snapshot) {
   return Status();
 }
 
+Status SnapshotStore::restore_history(std::vector<SnapshotPtr> chain) {
+  if (chain.empty()) {
+    return Status::invalid_argument(
+        "SnapshotStore::restore_history: empty chain");
+  }
+  for (const SnapshotPtr& snapshot : chain) {
+    if (snapshot == nullptr) {
+      return Status::invalid_argument(
+          "SnapshotStore::restore_history: null snapshot in chain");
+    }
+  }
+  const std::string& site = chain.front()->site();
+  if (site.empty()) {
+    return Status::invalid_argument(
+        "SnapshotStore::restore_history: empty site name");
+  }
+  if (contains(site)) {
+    return Status::failed_precondition(
+        "SnapshotStore::restore_history: site '" + site +
+        "' already has history (restore requires a fresh site)");
+  }
+  const std::uint64_t first = chain.front()->version();
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    if (chain[k]->site() != site) {
+      return Status::invalid_argument(
+          "SnapshotStore::restore_history: chain mixes sites '" + site +
+          "' and '" + chain[k]->site() + "'");
+    }
+    if (chain[k]->version() != first + k) {
+      return Status::data_loss(
+          "SnapshotStore::restore_history: site '" + site +
+          "' chain has a version gap (expected " +
+          std::to_string(first + k) + ", got " +
+          std::to_string(chain[k]->version()) + ")");
+    }
+  }
+  SiteHistory& history = sites_[site];
+  history.versions.assign(std::make_move_iterator(chain.begin()),
+                          std::make_move_iterator(chain.end()));
+  history.first_version = first;
+  // A restore into an engine with a tighter history limit trims exactly
+  // as live eviction would have.
+  while (history_limit_ > 0 && history.versions.size() > history_limit_) {
+    history.versions.pop_front();
+    ++history.first_version;
+  }
+  return Status();
+}
+
 Result<SnapshotPtr> SnapshotStore::latest(const std::string& site) const {
   const auto it = sites_.find(site);
   if (it == sites_.end() || it->second.versions.empty()) {

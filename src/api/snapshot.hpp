@@ -107,6 +107,15 @@ class SnapshotStore {
   /// versions are append-only and gap-free by construction.
   Status put(SnapshotPtr snapshot);
 
+  /// Install a restored retained window for a site the store does not
+  /// know yet (crash recovery: the checkpointed chain may start at any
+  /// version > 1 after history-limit eviction).  `chain` must be
+  /// non-empty, oldest first, gap-free, all entries non-null and naming
+  /// the same site; the history limit trims the oldest entries exactly as
+  /// live eviction would.  After this call put() continues the chain at
+  /// chain.back()->version() + 1.
+  Status restore_history(std::vector<SnapshotPtr> chain);
+
   bool contains(const std::string& site) const {
     return sites_.count(site) != 0;
   }

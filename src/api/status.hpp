@@ -29,6 +29,9 @@ enum class StatusCode {
                         ///< aborted, the last-good version keeps serving
   kResourceExhausted,   ///< a bounded resource is full (observation
                         ///< buffer at capacity, ...)
+  kDataLoss,            ///< durable state is corrupt beyond the recovery
+                        ///< rules (mid-WAL CRC mismatch, checkpoint
+                        ///< section damage, version gap on replay)
 };
 
 constexpr std::string_view to_string(StatusCode code) {
@@ -41,6 +44,7 @@ constexpr std::string_view to_string(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -55,7 +59,7 @@ constexpr std::optional<StatusCode> status_code_from_string(
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
         StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
-        StatusCode::kResourceExhausted}) {
+        StatusCode::kResourceExhausted, StatusCode::kDataLoss}) {
     if (to_string(code) == name) return code;
   }
   return std::nullopt;
@@ -88,6 +92,9 @@ class Status {
   }
   static Status resource_exhausted(std::string message) {
     return {StatusCode::kResourceExhausted, std::move(message)};
+  }
+  static Status data_loss(std::string message) {
+    return {StatusCode::kDataLoss, std::move(message)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

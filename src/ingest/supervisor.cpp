@@ -40,6 +40,23 @@ api::Status UpdateSupervisor::watch(const std::string& site,
   watched->backoff = options_.backoff_initial;
   watched->next_attempt = Clock::now();
 
+  // Crash-recovery re-arm: a site restored from a checkpoint carries its
+  // health state word (persist::DurabilityManager + Engine::restore_from).
+  // If the breaker was open when the process died, resume the degraded
+  // protocol instead of silently resetting to healthy — keep serving
+  // last-good and schedule a half-open probe after the cooldown, exactly
+  // as if the breaker had tripped in this process.
+  if (static_cast<serve::SiteState>(watched->shard->health().state.load(
+          std::memory_order_relaxed)) == serve::SiteState::kDegraded) {
+    watched->state = serve::SiteState::kDegraded;
+    watched->degraded = true;
+    watched->pending = true;
+    watched->consecutive_failures =
+        watched->shard->health().consecutive_failures.load(
+            std::memory_order_relaxed);
+    watched->next_attempt = Clock::now() + options_.breaker_cooldown;
+  }
+
   std::lock_guard<std::mutex> lock(sites_mutex_);
   if (!sites_.emplace(site, std::move(watched)).second) {
     return api::Status::failed_precondition("watch: site '" + site +

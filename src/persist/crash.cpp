@@ -1,0 +1,44 @@
+#include "persist/crash.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace iup::persist {
+
+namespace {
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint32_t> g_point{0};
+std::atomic<std::uint64_t> g_skip{0};
+}  // namespace
+
+void arm_crash_point(CrashPoint point, std::uint64_t skip_hits) {
+  g_point.store(static_cast<std::uint32_t>(point), std::memory_order_relaxed);
+  g_skip.store(skip_hits, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm_crash_points() {
+  g_armed.store(false, std::memory_order_release);
+}
+
+void maybe_crash(CrashPoint point) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  if (g_point.load(std::memory_order_relaxed) !=
+      static_cast<std::uint32_t>(point)) {
+    return;
+  }
+  // fetch_sub settles ties if the workload ever hits an armed point from
+  // two threads; the harness arms in a single-threaded child, where this
+  // is simply "skip n, die on hit n+1".
+  std::uint64_t skip = g_skip.load(std::memory_order_relaxed);
+  while (skip > 0) {
+    if (g_skip.compare_exchange_weak(skip, skip - 1,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  std::raise(SIGKILL);
+}
+
+}  // namespace iup::persist

@@ -1,0 +1,42 @@
+// Seeded SIGKILL crash points for the durability layer.
+//
+// The crash-injection harness (tests/persist_crash_test.cpp, soak RECOVER
+// mode) must be able to die at the worst possible instants — mid WAL
+// record, between a checkpoint's rename and the WAL truncate — with the
+// same determinism the ingest::FaultInjector gives the chaos soak.  A
+// forked child arms exactly one point (optionally skipping the first n
+// hits), runs the workload, and raise(SIGKILL)s itself the moment the
+// armed point is reached; the parent then proves recovery from whatever
+// bytes hit the disk.  Disarmed (the default, and always in production)
+// every maybe_crash() is one relaxed atomic load — the same
+// leave-it-on-in-release discipline as serve's read-path violation
+// counter.
+#pragma once
+
+#include <cstdint>
+
+namespace iup::persist {
+
+enum class CrashPoint : std::uint32_t {
+  // --- the WAL append of one committed update -------------------------
+  kBeforeWalAppend = 0,  ///< commit published, nothing appended yet
+  kMidWalRecord = 1,     ///< frame header written, payload not (torn tail)
+  kAfterWalAppend = 2,   ///< record durable, caller not yet told
+  // --- the checkpoint roll --------------------------------------------
+  kMidCheckpointWrite = 3,      ///< half the temp file written
+  kBeforeCheckpointRename = 4,  ///< temp durable, not yet published
+  kAfterCheckpointRename = 5,   ///< checkpoint live, WAL not yet truncated
+};
+
+/// Arm `point`: the (skip_hits + 1)-th time execution reaches it, the
+/// process raises SIGKILL.  One point armed at a time (re-arming
+/// replaces).
+void arm_crash_point(CrashPoint point, std::uint64_t skip_hits = 0);
+
+/// Disarm everything (the default state).
+void disarm_crash_points();
+
+/// Consulted at every seam; free (one relaxed load) while disarmed.
+void maybe_crash(CrashPoint point);
+
+}  // namespace iup::persist

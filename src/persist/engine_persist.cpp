@@ -1,0 +1,251 @@
+// Engine durability entry points (declared in api/engine.hpp): checkpoint
+// image collection, restore, and WAL replay.  Lives in src/persist/ so the
+// api layer keeps zero knowledge of file formats; this file is the only
+// place where Engine internals and the persist codecs meet.
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/wal.hpp"
+
+namespace iup::api {
+
+namespace {
+
+persist::HealthImage sample_health(const serve::SiteHealthCounters& h) {
+  persist::HealthImage out;
+  const auto relaxed = std::memory_order_relaxed;
+  out.state = h.state.load(relaxed);
+  out.updates_ok = h.updates_ok.load(relaxed);
+  out.updates_failed = h.updates_failed.load(relaxed);
+  out.update_attempts = h.update_attempts.load(relaxed);
+  out.consecutive_failures = h.consecutive_failures.load(relaxed);
+  out.drift_triggers = h.drift_triggers.load(relaxed);
+  out.deadline_trips = h.deadline_trips.load(relaxed);
+  out.breaker_trips = h.breaker_trips.load(relaxed);
+  out.recoveries = h.recoveries.load(relaxed);
+  out.observations_accepted = h.observations_accepted.load(relaxed);
+  out.quarantine_non_finite = h.quarantine_non_finite.load(relaxed);
+  out.quarantine_out_of_range = h.quarantine_out_of_range.load(relaxed);
+  out.quarantine_unknown_link = h.quarantine_unknown_link.load(relaxed);
+  out.quarantine_unknown_cell = h.quarantine_unknown_cell.load(relaxed);
+  out.quarantine_unknown_source = h.quarantine_unknown_source.load(relaxed);
+  out.quarantine_overflow = h.quarantine_overflow.load(relaxed);
+  out.last_observed_day = h.last_observed_day.load(relaxed);
+  out.spd_cholesky_failures = h.spd_cholesky_failures.load(relaxed);
+  out.spd_bump_recoveries = h.spd_bump_recoveries.load(relaxed);
+  out.spd_lu_fallbacks = h.spd_lu_fallbacks.load(relaxed);
+  return out;
+}
+
+void restore_health(const persist::HealthImage& image,
+                    serve::SiteHealthCounters& h) {
+  const auto relaxed = std::memory_order_relaxed;
+  h.state.store(image.state, relaxed);
+  h.updates_ok.store(image.updates_ok, relaxed);
+  h.updates_failed.store(image.updates_failed, relaxed);
+  h.update_attempts.store(image.update_attempts, relaxed);
+  h.consecutive_failures.store(image.consecutive_failures, relaxed);
+  h.drift_triggers.store(image.drift_triggers, relaxed);
+  h.deadline_trips.store(image.deadline_trips, relaxed);
+  h.breaker_trips.store(image.breaker_trips, relaxed);
+  h.recoveries.store(image.recoveries, relaxed);
+  h.observations_accepted.store(image.observations_accepted, relaxed);
+  h.quarantine_non_finite.store(image.quarantine_non_finite, relaxed);
+  h.quarantine_out_of_range.store(image.quarantine_out_of_range, relaxed);
+  h.quarantine_unknown_link.store(image.quarantine_unknown_link, relaxed);
+  h.quarantine_unknown_cell.store(image.quarantine_unknown_cell, relaxed);
+  h.quarantine_unknown_source.store(image.quarantine_unknown_source, relaxed);
+  h.quarantine_overflow.store(image.quarantine_overflow, relaxed);
+  h.last_observed_day.store(image.last_observed_day, relaxed);
+  h.spd_cholesky_failures.store(image.spd_cholesky_failures, relaxed);
+  h.spd_bump_recoveries.store(image.spd_bump_recoveries, relaxed);
+  h.spd_lu_fallbacks.store(image.spd_lu_fallbacks, relaxed);
+}
+
+}  // namespace
+
+persist::EngineImage Engine::collect_persist_image() const {
+  persist::EngineImage image;
+  // Chains + serving versions under ONE state-lock hold: the image is
+  // commit-consistent (no site can advance mid-collection), and the
+  // SnapshotPtr copies are refcount bumps, not matrix copies, so the lock
+  // hold is short.  Serialization happens after release.
+  {
+    const auto lock = state_lock();
+    std::vector<std::string> names = store_.sites();
+    std::sort(names.begin(), names.end());  // deterministic bytes
+    image.sites.reserve(names.size());
+    for (std::string& name : names) {
+      persist::SiteImage site;
+      const std::uint64_t latest = store_.next_version(name) - 1;
+      const std::size_t count = store_.version_count(name);
+      const std::uint64_t first = latest - count + 1;
+      site.chain.reserve(count);
+      for (std::uint64_t v = first; v <= latest; ++v) {
+        site.chain.push_back(store_.at_version(name, v).value());
+      }
+      site.serving_version = latest;
+      if (const auto shard = shards_->find(name); shard != nullptr) {
+        if (const serve::PublishedPtr bundle = shard->published();
+            bundle != nullptr && bundle->snapshot != nullptr) {
+          site.serving_version = bundle->snapshot->version();
+        }
+      }
+      site.site = std::move(name);
+      image.sites.push_back(std::move(site));
+    }
+  }
+  // Warm caches + health per shard, outside the commit lock (shard locks
+  // never nest with it).  A commit racing in here can only install a
+  // NEWER cache than the chain we captured — harmless, because cache
+  // consultation is exact-version-match after restore.
+  for (persist::SiteImage& site : image.sites) {
+    const auto shard = shards_->find(site.site);
+    if (shard == nullptr) continue;
+    {
+      const auto lock = shard->lock_for_update();
+      const serve::WarmCaches& caches = shard->caches(lock);
+      site.warm.factor_version = caches.factor_version;
+      site.warm.factor = caches.factor;
+      site.warm.lrr_version = caches.lrr_version;
+      site.warm.lrr = caches.lrr;
+    }
+    site.health = sample_health(shard->health());
+  }
+  return image;
+}
+
+Status Engine::save_checkpoint(const std::string& dir) const {
+  return persist::save_checkpoint_file(dir, collect_persist_image());
+}
+
+Status Engine::install_restored_site(persist::SiteImage image) {
+  if (image.chain.empty()) {
+    return Status::data_loss("restore: checkpointed site '" + image.site +
+                             "' has an empty snapshot chain");
+  }
+  // Serve the checkpointed serving version when it is still in the chain
+  // (it always is in practice — publication and commit are one critical
+  // section — but a trimmed chain after a history-limit change falls back
+  // to the latest retained version).
+  SnapshotPtr serving = image.chain.back();
+  for (const SnapshotPtr& snapshot : image.chain) {
+    if (snapshot->version() == image.serving_version) {
+      serving = snapshot;
+      break;
+    }
+  }
+  Result<std::shared_ptr<const loc::Localizer>> localizer =
+      build_localizer(serving->database(), nullptr);
+  if (!localizer.ok()) return localizer.status();
+
+  std::shared_ptr<serve::SiteShard> shard;
+  {
+    const auto lock = state_lock();
+    if (Status s = store_.restore_history(std::move(image.chain)); !s.ok()) {
+      return s;
+    }
+    shard = shards_->emplace(image.site);
+    shard->publish(std::make_shared<const serve::PublishedSite>(
+        serve::PublishedSite{std::move(serving),
+                             std::move(localizer).value()}));
+  }
+  {
+    const auto lock = shard->lock_for_update();
+    serve::WarmCaches& caches = shard->caches(lock);
+    caches.factor_version = image.warm.factor_version;
+    caches.factor = image.warm.factor;
+    caches.lrr_version = image.warm.lrr_version;
+    caches.lrr = image.warm.lrr;
+  }
+  restore_health(image.health, shard->health());
+  return {};
+}
+
+Status Engine::apply_wal_record(const persist::WalRecord& record) {
+  if (record.snapshot == nullptr) {
+    return Status::data_loss("WAL replay: record without a snapshot");
+  }
+  const std::string& site = record.snapshot->site();
+  const std::uint64_t version = record.snapshot->version();
+  Result<std::shared_ptr<const loc::Localizer>> localizer =
+      build_localizer(record.snapshot->database(), nullptr);
+  if (!localizer.ok()) return localizer.status();
+
+  std::shared_ptr<serve::SiteShard> shard;
+  {
+    const auto lock = state_lock();
+    if (store_.contains(site)) {
+      const std::uint64_t next = store_.next_version(site);
+      if (version < next) return {};  // checkpoint already covers it
+      if (version > next) {
+        return Status::data_loss(
+            "WAL replay: version gap for site '" + site + "' (have " +
+            std::to_string(next - 1) + ", log continues at " +
+            std::to_string(version) + ") — a log record is missing");
+      }
+    } else if (version != 1) {
+      return Status::data_loss(
+          "WAL replay: site '" + site + "' starts at version " +
+          std::to_string(version) +
+          " with no checkpoint behind it — the checkpoint is missing");
+    }
+    if (Status s = store_.put(record.snapshot); !s.ok()) return s;
+    shard = shards_->emplace(site);
+    shard->publish(std::make_shared<const serve::PublishedSite>(
+        serve::PublishedSite{record.snapshot, std::move(localizer).value()}));
+  }
+  const auto lock = shard->lock_for_update();
+  serve::WarmCaches& caches = shard->caches(lock);
+  if (record.warm.factor != nullptr &&
+      record.warm.factor_version >= caches.factor_version) {
+    caches.factor_version = record.warm.factor_version;
+    caches.factor = record.warm.factor;
+  }
+  if (record.warm.lrr != nullptr &&
+      record.warm.lrr_version >= caches.lrr_version) {
+    caches.lrr_version = record.warm.lrr_version;
+    caches.lrr = record.warm.lrr;
+  }
+  return {};
+}
+
+Status Engine::restore_from(const std::string& dir) {
+  {
+    const auto lock = state_lock();
+    if (!store_.sites().empty()) {
+      return Status::failed_precondition(
+          "restore_from: engine already has registered sites — recovery "
+          "targets a fresh engine");
+    }
+  }
+  persist::EngineImage image;
+  bool have_checkpoint = true;
+  if (Status s = persist::load_checkpoint_file(dir, image); !s.ok()) {
+    if (s.code() != StatusCode::kNotFound) return s;
+    have_checkpoint = false;
+  }
+  std::vector<persist::WalRecord> records;
+  if (Status s = persist::read_wal(dir + "/" + persist::kWalFile, records);
+      !s.ok()) {
+    return s;
+  }
+  if (!have_checkpoint && records.empty()) {
+    return Status::not_found("restore_from: no durable state in '" + dir +
+                             "'");
+  }
+  for (persist::SiteImage& site : image.sites) {
+    if (Status s = install_restored_site(std::move(site)); !s.ok()) return s;
+  }
+  for (const persist::WalRecord& record : records) {
+    if (Status s = apply_wal_record(record); !s.ok()) return s;
+  }
+  return {};
+}
+
+}  // namespace iup::api

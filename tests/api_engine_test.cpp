@@ -359,20 +359,6 @@ TEST(EngineLocalize, RassNeedsDeploymentAttached) {
   EXPECT_TRUE(with_dep.ok()) << with_dep.status().to_string();
 }
 
-TEST(EngineApiV2, DeprecatedRawIndexOverloadsAgreeWithTyped) {
-  const auto& run = iup::test::office_run();
-  Engine engine = office_engine(run);
-  const auto typed = engine.reference_cells("office").value();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto raw = engine.reference_cell_indices("office").value();
-  EXPECT_EQ(to_cell_ids(raw), typed);
-  // The raw set_reference_cells shim routes to the same implementation.
-  ASSERT_TRUE(engine.set_reference_cells("office", raw).ok());
-#pragma GCC diagnostic pop
-  EXPECT_EQ(engine.reference_cells("office").value(), typed);
-}
-
 std::vector<SourceInfo> office_sources() {
   std::vector<SourceInfo> sources;
   for (std::size_t i = 0; i < 8; ++i) {

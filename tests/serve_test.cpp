@@ -78,8 +78,9 @@ TEST(ServePublication, BundleTracksCommitsAndPinsVersions) {
   // set_reference_cells republishes the same localizer under the new
   // version (the database did not change).
   ASSERT_TRUE(engine
-                  .set_reference_cells("office",
-                                       {0, 8, 16, 24, 32, 40, 48, 56})
+                  .set_reference_cells(
+                      "office",
+                      iup::to_cell_ids({0, 8, 16, 24, 32, 40, 48, 56}))
                   .ok());
   const auto v3 = engine.published("office");
   EXPECT_EQ(v3.value()->snapshot->version(), 3u);

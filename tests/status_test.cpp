@@ -19,6 +19,7 @@ const std::vector<StatusCode>& all_codes() {
       StatusCode::kUnavailable,
       StatusCode::kDeadlineExceeded,
       StatusCode::kResourceExhausted,
+      StatusCode::kDataLoss,
   };
   return codes;
 }
@@ -47,6 +48,7 @@ TEST(StatusCodes, NewRobustnessCodesHaveTheExpectedNames) {
   EXPECT_EQ(to_string(StatusCode::kUnavailable), "UNAVAILABLE");
   EXPECT_EQ(to_string(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
   EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(to_string(StatusCode::kDataLoss), "DATA_LOSS");
 }
 
 TEST(StatusFactories, EveryFactoryTagsItsCode) {
@@ -61,6 +63,7 @@ TEST(StatusFactories, EveryFactoryTagsItsCode) {
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::resource_exhausted("m").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::data_loss("m").code(), StatusCode::kDataLoss);
 
   const Status s = Status::resource_exhausted("buffer full");
   EXPECT_FALSE(s.ok());
